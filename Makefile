@@ -1,0 +1,38 @@
+# Convenience targets for the stashsim reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures figures-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Reduced-scale benchmark harness: one benchmark per table/figure plus the
+# ablations. Full datasets come from `make figures`.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure on the scaled (342-endpoint) network.
+figures:
+	$(GO) run ./cmd/figures -exp all -preset small -out results/small
+
+# The paper's full 3080-endpoint configuration (slow: hours on one core).
+figures-paper:
+	$(GO) run ./cmd/figures -exp all -preset paper -out results/paper
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/reliability
+	$(GO) run ./examples/congestion
+	$(GO) run ./examples/traces
+
+clean:
+	rm -rf results

@@ -1,0 +1,225 @@
+package stashsim
+
+// The benchmark harness: one benchmark per table and figure of the paper,
+// regenerating the corresponding dataset at reduced (tiny/quick) scale so
+// `go test -bench=.` completes on a laptop. Full-scale datasets are
+// produced by `go run ./cmd/figures -preset small|paper -out results/`.
+//
+// Ablation benchmarks at the bottom quantify the design choices DESIGN.md
+// calls out: JSQ vs random stash placement, the 1.3x internal speedup, and
+// the two-bank port-memory model.
+
+import (
+	"testing"
+
+	"stashsim/internal/core"
+	"stashsim/internal/harness"
+	"stashsim/internal/network"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/traffic"
+)
+
+func quickOpts() *harness.Options {
+	return &harness.Options{Preset: "tiny", Quick: true, Seed: 1}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table1(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table2(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aLatencyVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.Fig5(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5bThroughput(b *testing.B) {
+	// Fig 5b comes from the same sweep as 5a; bench a single saturation
+	// point so the two benchmarks report distinguishable costs.
+	for i := 0; i < b.N; i++ {
+		o := quickOpts()
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRNG(1)
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				1.0, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Warmup(2000)
+		n.Run(5000)
+		_ = n.NormalizedAccepted(5000)
+		_ = o
+	}
+}
+
+func BenchmarkFig6Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bLatencyDistribution(b *testing.B) {
+	// The distribution is produced by the same runs as Fig 7a; bench the
+	// histogram/inverse-CDF post-processing on a single congested run.
+	o := quickOpts()
+	r, err := harness.Fig7(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.InvCDF.CSV()
+	}
+}
+
+func BenchmarkFig8StashUtilization(b *testing.B) {
+	o := quickOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Stash.CSV()
+	}
+}
+
+func BenchmarkFig9BurstSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig9(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// benchE2ESaturation measures accepted throughput at full offered load for
+// a given config mutation, reporting it as a custom metric.
+func benchE2ESaturation(b *testing.B, mutate func(*core.Config)) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		if mutate != nil {
+			mutate(cfg)
+		}
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRNG(5)
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				1.0, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Warmup(3000)
+		n.Run(8000)
+		b.ReportMetric(n.NormalizedAccepted(8000), "accepted/cap")
+	}
+}
+
+// BenchmarkAblationSpeedup quantifies the paper's 30% internal speedup:
+// without it, the stash traffic's extra internal bandwidth demand costs
+// throughput.
+func BenchmarkAblationSpeedup(b *testing.B) {
+	b.Run("speedup=1.3", func(b *testing.B) {
+		benchE2ESaturation(b, nil)
+	})
+	b.Run("speedup=1.0", func(b *testing.B) {
+		benchE2ESaturation(b, func(c *core.Config) {
+			c.RateNum, c.RateDen = 1, 1
+			// Latencies are specified in internal cycles; at 1.0x the
+			// internal cycle equals the channel cycle, so rescale.
+			c.Lat.Endpoint = c.Lat.Endpoint * 10 / 13
+			c.Lat.Local = c.Lat.Local * 10 / 13
+			c.Lat.Global = c.Lat.Global * 10 / 13
+		})
+	})
+}
+
+// BenchmarkAblationJSQ compares join-shortest-queue stash placement with
+// uniformly random placement. With the 25% capacity restriction, balanced
+// pools sustain injection longer, so JSQ should accept more throughput.
+func BenchmarkAblationJSQ(b *testing.B) {
+	b.Run("jsq", func(b *testing.B) {
+		benchE2ESaturation(b, func(c *core.Config) { c.StashCapFrac = 0.25 })
+	})
+	b.Run("random", func(b *testing.B) {
+		benchE2ESaturation(b, func(c *core.Config) {
+			c.StashCapFrac = 0.25
+			c.RandomStashPlacement = true
+		})
+	})
+}
+
+// BenchmarkAblationRouting compares progressive adaptive routing with
+// purely minimal routing under uniform traffic.
+func BenchmarkAblationRouting(b *testing.B) {
+	b.Run("adaptive", func(b *testing.B) {
+		benchE2ESaturation(b, nil)
+	})
+	b.Run("minimal", func(b *testing.B) {
+		benchE2ESaturation(b, func(c *core.Config) { c.Route.Adaptive = false })
+	})
+}
+
+// BenchmarkAblationBanks compares ideal 4-ported memory to the two-bank
+// interleaved organization of Section III-B.
+func BenchmarkAblationBanks(b *testing.B) {
+	b.Run("ideal", func(b *testing.B) {
+		benchE2ESaturation(b, nil)
+	})
+	b.Run("two-bank", func(b *testing.B) {
+		benchE2ESaturation(b, func(c *core.Config) { c.BankModel = true })
+	})
+}
+
+// BenchmarkSimulatorSpeed reports raw simulation throughput
+// (switch-cycles per second) on the tiny network at moderate load — the
+// engineering headline for the simulator substrate itself.
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	cfg := core.TinyConfig()
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	for _, ep := range n.Endpoints {
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			0.4, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Run(1000)
+	}
+	b.ReportMetric(float64(len(n.Switches))*1000, "switch-cycles/op")
+}

@@ -1,0 +1,171 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures -exp all -preset small -out results/
+//	figures -exp fig5 -preset paper -out results-paper/
+//
+// Each experiment prints its table(s) to stdout and, with -out, writes CSV
+// files suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stashsim/internal/harness"
+	"stashsim/internal/stats"
+	"stashsim/internal/viz"
+)
+
+// tableSeries extracts numeric columns from a table as plottable series,
+// using column xCol as the x axis.
+func tableSeries(t *stats.Table, xCol int, yCols ...int) []viz.Series {
+	var out []viz.Series
+	for _, yc := range yCols {
+		s := viz.Series{Name: t.Header[yc]}
+		for _, row := range t.Rows {
+			x, errX := strconv.ParseFloat(row[xCol], 64)
+			y, errY := strconv.ParseFloat(row[yc], 64)
+			if errX != nil || errY != nil {
+				continue
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1,table2,fig5,fig6,fig7,fig8,fig9,ablations or all (comma separated)")
+	preset := flag.String("preset", "small", "network scale: tiny, small, paper")
+	out := flag.String("out", "", "directory for CSV output")
+	quick := flag.Bool("quick", false, "shortened runs (smoke test)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	flag.Parse()
+
+	o := &harness.Options{
+		Preset: *preset,
+		OutDir: *out,
+		Quick:  *quick,
+		Seed:   *seed,
+		Log: func(format string, args ...any) {
+			log.Printf(format, args...)
+		},
+	}
+	log.SetFlags(log.Ltime)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	show := func(title string, t *stats.Table) {
+		fmt.Printf("\n== %s ==\n%s", title, t)
+	}
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Printf("%s FAILED: %v", name, err)
+			os.Exit(1)
+		}
+		log.Printf("%s done in %v", name, time.Since(start).Round(time.Second))
+	}
+
+	run("table1", func() error {
+		t, err := harness.Table1(o)
+		if err != nil {
+			return err
+		}
+		show("Table I: link asymmetry & buffer underutilization", t)
+		return nil
+	})
+	run("table2", func() error {
+		t, err := harness.Table2(o)
+		if err != nil {
+			return err
+		}
+		show("Table II: DesignForward application traces (synthesized)", t)
+		return nil
+	})
+	run("fig5", func() error {
+		lat, acc, err := harness.Fig5(o)
+		if err != nil {
+			return err
+		}
+		show("Figure 5a: latency vs offered load (us)", lat)
+		c := &viz.Chart{Title: "Fig 5a (shape)", XLabel: "offered load", YLabel: "latency us"}
+		fmt.Println(c.Render(tableSeries(lat, 0, 1, 2, 3, 4)...))
+		show("Figure 5b: offered vs accepted throughput", acc)
+		c = &viz.Chart{Title: "Fig 5b (shape)", XLabel: "offered load", YLabel: "accepted"}
+		fmt.Println(c.Render(tableSeries(acc, 0, 1, 2, 3, 4)...))
+		return nil
+	})
+	run("fig6", func() error {
+		t, err := harness.Fig6(o)
+		if err != nil {
+			return err
+		}
+		show("Figure 6: trace runtime normalized to baseline", t)
+		var labels []string
+		var values [][]float64
+		for _, row := range t.Rows {
+			labels = append(labels, row[0])
+			var vals []float64
+			for i := 2; i < len(row); i++ {
+				v, err := strconv.ParseFloat(row[i], 64)
+				if err == nil {
+					vals = append(vals, v)
+				}
+			}
+			values = append(values, vals)
+		}
+		fmt.Println(viz.Bars("Fig 6 (shape)", labels, t.Header[2:], values, 40))
+		return nil
+	})
+	if want["fig8"] && !want["fig7"] && !all {
+		want["fig7"] = true // Fig 8 is produced by the Fig 7 runs
+	}
+	run("fig7", func() error {
+		r, err := harness.Fig7(o)
+		if err != nil {
+			return err
+		}
+		show("Figure 7a: victim latency over time (us)", r.Series)
+		c := &viz.Chart{Title: "Fig 7a (shape)", XLabel: "time us", YLabel: "victim latency us"}
+		fmt.Println(c.Render(tableSeries(r.Series, 0, 1, 2, 3)...))
+		show("Figure 7b: victim latency distribution percentiles (ns)", r.InvCDF)
+		show("Figure 8: hotspot switch stash utilization & aggressor load", r.Stash)
+		c = &viz.Chart{Title: "Fig 8 (shape)", XLabel: "time us", YLabel: "util / load"}
+		fmt.Println(c.Render(tableSeries(r.Stash, 0, 1, 2)...))
+		return nil
+	})
+	run("ablations", func() error {
+		t, err := harness.Ablations(o)
+		if err != nil {
+			return err
+		}
+		show("Ablations: design-choice sensitivity at full load (e2e stashing)", t)
+		return nil
+	})
+	run("fig9", func() error {
+		t, err := harness.Fig9(o)
+		if err != nil {
+			return err
+		}
+		show("Figure 9: victim p90 latency vs aggressor burst size", t)
+		c := &viz.Chart{Title: "Fig 9 (shape)", XLabel: "burst pkts", YLabel: "victim p90 us"}
+		fmt.Println(c.Render(tableSeries(t, 0, 1, 2, 3)...))
+		return nil
+	})
+}

@@ -1,0 +1,164 @@
+// Command stashsim runs a single network simulation with configurable
+// topology, stashing mode, and synthetic workload, printing a summary.
+//
+// Examples:
+//
+//	stashsim -preset small -mode e2e -load 0.5 -cycles 50000
+//	stashsim -preset paper -mode congestion -load 0.4 -hotspots 12 -cycles 130000
+//	stashsim -p 3 -a 7 -h 3 -mode baseline -load 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stashsim/internal/core"
+	"stashsim/internal/network"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+	"stashsim/internal/traffic"
+)
+
+func main() {
+	preset := flag.String("preset", "small", "base preset: tiny, small, paper (overridden by -p/-a/-h)")
+	pFlag := flag.Int("p", 0, "endpoints per switch (custom topology)")
+	aFlag := flag.Int("a", 0, "switches per group (custom topology)")
+	hFlag := flag.Int("h", 0, "global links per switch (custom topology)")
+	mode := flag.String("mode", "baseline", "switch mode: baseline, e2e, congestion")
+	capFrac := flag.Float64("cap", 1.0, "stash capacity fraction (1.0, 0.5, 0.25)")
+	load := flag.Float64("load", 0.5, "offered load as a fraction of channel capacity")
+	msgPkts := flag.Int("burst", 1, "message size in packets")
+	hotspots := flag.Int("hotspots", 0, "number of 4:1 hotspot aggressors (enables victim/aggressor classes)")
+	cycles := flag.Int64("cycles", 50000, "measured cycles (after warmup)")
+	warm := flag.Int64("warmup", 10000, "warmup cycles")
+	seed := flag.Uint64("seed", 1, "random seed")
+	ecn := flag.Bool("ecn", false, "enable ECN (implied by -mode congestion)")
+	banks := flag.Bool("banks", false, "model two-bank port memory conflicts")
+	errRate := flag.Float64("errors", 0, "per-packet NACK probability (e2e retransmission)")
+	flag.Parse()
+
+	var cfg *core.Config
+	switch *preset {
+	case "paper":
+		cfg = core.PaperConfig()
+	case "tiny":
+		cfg = core.TinyConfig()
+	default:
+		cfg = core.SmallConfig()
+	}
+	if *pFlag > 0 && *aFlag > 0 && *hFlag > 0 {
+		cfg = core.PaperConfig()
+		cfg.Topo = topo.Dragonfly{P: *pFlag, A: *aFlag, H: *hFlag}
+		radix := cfg.Topo.Radix()
+		// Keep 4 rows/columns like the paper's switch; pad tile sizes.
+		cfg.Rows, cfg.Cols = 4, 4
+		cfg.TileIn = (radix + 3) / 4
+		cfg.TileOut = (radix + 3) / 4
+	}
+	switch *mode {
+	case "baseline":
+		cfg.Mode = core.StashOff
+	case "e2e":
+		cfg.Mode = core.StashE2E
+	case "congestion":
+		cfg.Mode = core.StashCongestion
+		cfg.ECN = core.DefaultECN()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *ecn {
+		cfg.ECN = core.DefaultECN()
+	}
+	cfg.StashCapFrac = *capFrac
+	cfg.BankModel = *banks
+	cfg.Seed = *seed
+	if *errRate > 0 {
+		cfg.ErrorRate = *errRate
+		cfg.RetainPayload = true
+	}
+
+	n, err := network.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(n.Describe())
+
+	rng := sim.NewRNG(*seed + 77)
+	rate := n.ChannelRate()
+	msgFlits := *msgPkts * proto.MaxPacketFlits
+	victims := proto.ClassDefault
+	if *hotspots > 0 {
+		victims = proto.ClassVictim
+	}
+	n.Collector.WithHist(victims)
+	hotDst := map[int32]bool{}
+	hotSrc := map[int32]bool{}
+	if *hotspots > 0 {
+		d := cfg.Topo
+		for i := 0; i < *hotspots; i++ {
+			sw := (i * d.NumSwitches()) / *hotspots
+			hotDst[int32(d.EndpointID(sw, 0))] = true
+		}
+		k := 0
+		dsts := make([]int32, 0, len(hotDst))
+		for dst := range hotDst {
+			dsts = append(dsts, dst)
+		}
+		for i := 1; k < 4**hotspots && i < n.Cfg.Topo.NumEndpoints(); i += 7 {
+			id := int32(i)
+			if !hotDst[id] {
+				hotSrc[id] = true
+				k++
+			}
+		}
+		k = 0
+		for _, ep := range n.Endpoints {
+			if hotSrc[ep.ID] {
+				ep.Gen = traffic.Hotspot(dsts[k%len(dsts)], msgFlits, proto.ClassAggressor, 0)
+				k++
+			}
+		}
+	}
+	for _, ep := range n.Endpoints {
+		if ep.Gen != nil || hotDst[ep.ID] {
+			continue
+		}
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			*load, rate, msgFlits, victims, 0)
+	}
+
+	n.Warmup(*warm)
+	n.Run(*cycles)
+
+	lat := n.Collector.LatAcc[victims]
+	h := n.Collector.LatHist[victims]
+	fmt.Printf("measured %d cycles (%.1f us)\n", *cycles, float64(*cycles)/1300)
+	fmt.Printf("offered  %.3f  accepted %.3f (fraction of capacity)\n",
+		n.NormalizedOffered(*cycles), n.NormalizedAccepted(*cycles))
+	fmt.Printf("latency  mean %.0f ns  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f ns (%d packets)\n",
+		lat.Mean()/1.3,
+		float64(h.Percentile(50))/1.3, float64(h.Percentile(90))/1.3,
+		float64(h.Percentile(99))/1.3, lat.Max/1.3, lat.N)
+	c := n.Counters()
+	fmt.Printf("switching: %d flits, %d sent; stash: %d stored / %d retrieved / %d resident\n",
+		c.FlitsSwitched, c.FlitsSent, c.StashStores, c.StashRetrieves, n.TotalStashUsed())
+	if cfg.ECN.Enabled {
+		fmt.Printf("ECN: %d marks, %d window shrinks, %d congested port-cycles\n",
+			c.ECNMarks, n.Collector.WindowShrinks, c.CongestedCycles)
+	}
+	if cfg.Mode == core.StashE2E {
+		fmt.Printf("e2e: %d tracked, %d deleted, %d retransmits, %d sideband msgs\n",
+			c.E2ETracked, c.E2EDeletes, c.E2ERetransmits, c.SidebandMsgs)
+	}
+	if cfg.BankModel {
+		var bc int64
+		for _, s := range n.Switches {
+			bc += s.BankConflicts()
+		}
+		fmt.Printf("bank conflicts: %d\n", bc)
+	}
+}

@@ -1,0 +1,68 @@
+// Command tracegen synthesizes the DesignForward-like MPI traces of the
+// paper's Table II and writes them in the repository's trace format.
+//
+// Examples:
+//
+//	tracegen -table2                 # print the Table II inventory
+//	tracegen -app BIGFFT -out b.trace
+//	tracegen -app MiniFE -ranks 342 -out m.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stashsim/internal/stats"
+	"stashsim/internal/tracegen"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "print the Table II application inventory")
+	app := flag.String("app", "", "application to synthesize (BIGFFT, AMG, MultiGrid, FillBoundary, AMR, MiniFE)")
+	ranks := flag.Int("ranks", 0, "cap the rank count (0 = paper's count)")
+	bytes := flag.Float64("bytes", 1.0, "message size multiplier")
+	iters := flag.Float64("iters", 1.0, "iteration count multiplier")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *table2 {
+		t := &stats.Table{Header: []string{"Application", "Description", "Ranks"}}
+		for _, a := range tracegen.Apps() {
+			t.AddRow(a.Name, a.Description, fmt.Sprint(a.PaperRanks))
+		}
+		fmt.Print(t)
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "need -app or -table2; see -help")
+		os.Exit(2)
+	}
+	info, err := tracegen.AppByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale := tracegen.Scale{Ranks: *ranks, Bytes: *bytes, Iters: *iters}
+	tr := info.Generate(scale)
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d ranks, %d messages, %.2f MB\n",
+		tr.Name, tr.Ranks, tr.TotalMessages(), float64(tr.TotalBytes())/(1<<20))
+}

@@ -1,0 +1,17 @@
+// Package stashsim is a from-scratch, cycle-accurate reproduction of the
+// SC'18 paper "Exploiting Idle Resources in a High-Radix Switch for
+// Supplemental Storage" (Blumrich, Jiang, Dennison — NVIDIA).
+//
+// The repository contains a flit-level tiled-switch and dragonfly network
+// simulator (internal/core, internal/network), the paper's stashing switch
+// architecture with its two use cases — end-to-end reliability and ECN
+// congestion-control assistance — an MPI-like trace replay engine with
+// synthetic DesignForward application traces (internal/trace,
+// internal/tracegen), and an experiment harness that regenerates every
+// table and figure of the paper's evaluation (internal/harness,
+// cmd/figures).
+//
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// per-experiment index. The benchmarks in bench_test.go regenerate each
+// table/figure dataset at reduced scale; use cmd/figures for full runs.
+package stashsim

@@ -1,0 +1,73 @@
+// Traces: synthesize a DesignForward-like MPI trace (MiniFE, scaled to
+// the network), replay it with the dependency-driven engine, and compare
+// the runtime on the baseline and stashing networks — a single cell of
+// the paper's Figure 6.
+//
+//	go run ./examples/traces
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stashsim/internal/core"
+	"stashsim/internal/network"
+	"stashsim/internal/trace"
+	"stashsim/internal/tracegen"
+)
+
+func main() {
+	scale := tracegen.DefaultScale()
+	scale.Ranks = 72 // fit the tiny demo network
+	app, err := tracegen.AppByName("MiniFE")
+	if err != nil {
+		panic(err)
+	}
+	tr := app.Generate(scale)
+	fmt.Printf("trace %s: %d ranks, %d messages, %.2f MB\n",
+		tr.Name, tr.Ranks, tr.TotalMessages(), float64(tr.TotalBytes())/(1<<20))
+
+	// Persist the trace to show the on-disk format, then reload it.
+	f, err := os.CreateTemp("", "minife-*.trace")
+	if err != nil {
+		panic(err)
+	}
+	defer os.Remove(f.Name())
+	if err := tr.Write(f); err != nil {
+		panic(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		panic(err)
+	}
+	tr, err = trace.Read(f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("round-tripped through %s\n\n", f.Name())
+
+	run := func(mode core.StashMode, capFrac float64, label string) int64 {
+		cfg := core.TinyConfig()
+		cfg.Mode = mode
+		cfg.StashCapFrac = capFrac
+		n, err := network.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		rp, err := trace.NewReplay(tr, n, 0)
+		if err != nil {
+			panic(err)
+		}
+		cycles, err := rp.Run(50_000_000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s %8d cycles  (%.1f us)\n", label, cycles, float64(cycles)/1300)
+		return cycles
+	}
+
+	base := run(core.StashOff, 1, "baseline")
+	full := run(core.StashE2E, 1, "stash 100% capacity")
+	quarter := run(core.StashE2E, 0.25, "stash 25% capacity")
+	fmt.Printf("\nnormalized runtime: stash100=%.3f stash25=%.3f (Figure 6 shape: ~1.0, then growing as capacity shrinks)\n",
+		float64(full)/float64(base), float64(quarter)/float64(base))
+}

@@ -1,0 +1,3 @@
+module stashsim
+
+go 1.22

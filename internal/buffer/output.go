@@ -1,0 +1,85 @@
+package buffer
+
+import "stashsim/internal/proto"
+
+// OutBuf is a switch output buffer. Architecturally it provides link-level
+// retransmission: a transmitted flit is retained until the link-level
+// acknowledgment returns, one round-trip time after transmission. Because
+// the simulated links are error-free, retention is modeled as a timed
+// occupancy that drains RTT cycles after each send. Space is consumed when
+// a flit is accepted from the column buffers and released when its
+// retention deadline passes, which throttles a port to one RTT-window of
+// data exactly as the paper's buffer sizing intends.
+//
+// Like the input buffer, the normal partition is a DAMQ shared by the
+// network VCs.
+type OutBuf struct {
+	queues   []Ring // per-VC FIFOs awaiting transmission
+	capacity int    // normal-partition capacity in flits
+	queued   int    // flits awaiting transmission
+	inflight TimedRing
+	occupied uint32
+}
+
+// NewOutBuf builds an output buffer with the given normal-partition
+// capacity in flits, shared by numVCs virtual channels.
+func NewOutBuf(capacity, numVCs int) *OutBuf {
+	return &OutBuf{
+		queues:   make([]Ring, numVCs),
+		capacity: capacity,
+	}
+}
+
+// Capacity returns the normal-partition capacity in flits.
+func (b *OutBuf) Capacity() int { return b.capacity }
+
+// Used returns the total occupancy: queued plus retained flits.
+func (b *OutBuf) Used() int { return b.queued + b.inflight.Len() }
+
+// Queued returns the number of flits awaiting transmission.
+func (b *OutBuf) Queued() int { return b.queued }
+
+// Free returns the number of flits that can currently be accepted.
+func (b *OutBuf) Free() int { return b.capacity - b.Used() }
+
+// Push accepts a flit from a column buffer. Callers gate on Free.
+func (b *OutBuf) Push(f proto.Flit) {
+	if b.Free() <= 0 {
+		panic("buffer: output buffer overflow")
+	}
+	b.queues[f.VC].Push(f)
+	b.queued++
+	b.occupied |= 1 << uint(f.VC)
+}
+
+// Front returns the front flit of vc, or nil when empty.
+func (b *OutBuf) Front(vc int) *proto.Flit {
+	if b.queues[vc].Empty() {
+		return nil
+	}
+	return b.queues[vc].Front()
+}
+
+// Occupied returns a bitmask of VCs with flits awaiting transmission.
+func (b *OutBuf) Occupied() uint32 { return b.occupied }
+
+// Send dequeues the front flit of vc for transmission and retains its space
+// until releaseAt (transmit time plus link RTT).
+func (b *OutBuf) Send(vc int, releaseAt int64) proto.Flit {
+	f := b.queues[vc].Pop()
+	b.queued--
+	if b.queues[vc].Empty() {
+		b.occupied &^= 1 << uint(vc)
+	}
+	b.inflight.Push(TimedFlit{At: releaseAt, Flit: proto.Flit{}})
+	return f
+}
+
+// Release frees the space of every retained flit whose deadline has passed.
+func (b *OutBuf) Release(now int64) {
+	for {
+		if _, ok := b.inflight.PopDue(now); !ok {
+			return
+		}
+	}
+}

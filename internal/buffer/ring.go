@@ -1,0 +1,135 @@
+// Package buffer implements the storage structures of the tiled switch:
+// growable flit rings, DAMQ-style shared-pool buffers with per-VC reserved
+// quotas, matching sender-side credit counters, the two-bank interleaved
+// port memory of the paper's Section III-B, the output (link-level
+// retransmission) buffer, and the per-port stash pool added by the stashing
+// architecture.
+package buffer
+
+import "stashsim/internal/proto"
+
+// Ring is a growable FIFO of flits. It grows geometrically on demand and
+// never shrinks, so steady-state operation performs no allocation.
+type Ring struct {
+	buf  []proto.Flit
+	head int
+	n    int
+}
+
+// Len returns the number of queued flits.
+func (r *Ring) Len() int { return r.n }
+
+// Empty reports whether the ring holds no flits.
+func (r *Ring) Empty() bool { return r.n == 0 }
+
+// Push appends a flit.
+func (r *Ring) Push(f proto.Flit) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = f
+	r.n++
+}
+
+// Pop removes and returns the oldest flit. It panics when empty.
+func (r *Ring) Pop() proto.Flit {
+	if r.n == 0 {
+		panic("buffer: pop from empty ring")
+	}
+	f := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return f
+}
+
+// Front returns a pointer to the oldest flit without removing it. The
+// pointer is invalidated by the next Push or Pop. It panics when empty.
+func (r *Ring) Front() *proto.Flit {
+	if r.n == 0 {
+		panic("buffer: front of empty ring")
+	}
+	return &r.buf[r.head]
+}
+
+// At returns a pointer to the i-th oldest flit (0 = front).
+func (r *Ring) At(i int) *proto.Flit {
+	if i < 0 || i >= r.n {
+		panic("buffer: ring index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *Ring) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]proto.Flit, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// TimedFlit is a flit with an associated deadline, used by link pipelines
+// (arrival time) and output buffers (release time).
+type TimedFlit struct {
+	At   int64
+	Flit proto.Flit
+}
+
+// TimedRing is a growable FIFO of TimedFlits.
+type TimedRing struct {
+	buf  []TimedFlit
+	head int
+	n    int
+}
+
+// Len returns the number of queued entries.
+func (r *TimedRing) Len() int { return r.n }
+
+// Empty reports whether the ring holds no entries.
+func (r *TimedRing) Empty() bool { return r.n == 0 }
+
+// Push appends an entry. Deadlines must be monotonically non-decreasing;
+// this holds for link pipelines (fixed latency) and RTT retention queues.
+func (r *TimedRing) Push(t TimedFlit) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+// PopDue removes and returns the front entry if its deadline is <= now.
+func (r *TimedRing) PopDue(now int64) (TimedFlit, bool) {
+	if r.n == 0 || r.buf[r.head].At > now {
+		return TimedFlit{}, false
+	}
+	t := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return t, true
+}
+
+// Front returns a pointer to the front entry; it panics when empty.
+func (r *TimedRing) Front() *TimedFlit {
+	if r.n == 0 {
+		panic("buffer: front of empty timed ring")
+	}
+	return &r.buf[r.head]
+}
+
+func (r *TimedRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]TimedFlit, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -1,0 +1,167 @@
+package buffer
+
+import "stashsim/internal/proto"
+
+// StashPool is the per-port stashing partition: the fraction of a port's
+// combined input and output buffer memory repurposed as switch-wide
+// supplemental storage. Space is reserved packet-at-a-time when a packet
+// wins its storage-VC column channel (join-shortest-queue uses the free
+// count as the "storage VC credits" of that column), filled as flits
+// arrive, and freed either by an explicit delete (end-to-end reliability)
+// or by FIFO retrieval (congestion mitigation).
+type StashPool struct {
+	capacity int
+	reserved int // flits reserved by granted but not fully arrived packets
+	used     int // flits physically present or committed
+
+	// End-to-end reliability bookkeeping: arrived flit counts per stashed
+	// packet. Payload flits are discarded on arrival (the copy is never
+	// forwarded) unless retainPayload is set for the retransmission
+	// extension, in which case complete packets are kept in store.
+	arrived       map[uint64]uint8
+	store         map[uint64][]proto.Flit
+	partial       map[uint64][]proto.Flit
+	retainPayload bool
+
+	// Congestion-mitigation bookkeeping: stashed packets queued for
+	// retrieval in FIFO order.
+	retrQ Ring
+
+	// PeakUsed tracks the high-water mark for statistics.
+	PeakUsed int
+}
+
+// NewStashPool builds a pool with the given capacity in flits. capacity may
+// be zero (global ports contribute no stash storage).
+func NewStashPool(capacity int, retainPayload bool) *StashPool {
+	return &StashPool{
+		capacity:      capacity,
+		arrived:       make(map[uint64]uint8),
+		retainPayload: retainPayload,
+	}
+}
+
+// Capacity returns the pool capacity in flits.
+func (p *StashPool) Capacity() int { return p.capacity }
+
+// Used returns the committed occupancy (reserved plus present) in flits.
+func (p *StashPool) Used() int { return p.used + p.reserved }
+
+// Reserved returns the flits committed for granted packets whose flits
+// have not all arrived yet.
+func (p *StashPool) Reserved() int { return p.reserved }
+
+// Free returns the number of uncommitted flits, the quantity advertised as
+// storage-VC credits for join-shortest-queue selection.
+func (p *StashPool) Free() int { return p.capacity - p.Used() }
+
+// Reserve commits space for an entire packet of the given size. Callers
+// gate on Free; Reserve panics on overflow.
+func (p *StashPool) Reserve(size int) {
+	if p.Free() < size {
+		panic("buffer: stash pool over-reservation")
+	}
+	p.reserved += size
+	if p.Used() > p.PeakUsed {
+		p.PeakUsed = p.Used()
+	}
+}
+
+// PutCopy stores one flit of an end-to-end reliability stash copy whose
+// space was previously reserved. It returns true when the flit completes
+// its packet, at which point the location message should be sent to the
+// originating end port.
+func (p *StashPool) PutCopy(f proto.Flit) bool {
+	p.reserved--
+	p.used++
+	if p.retainPayload {
+		if p.partial == nil {
+			p.partial = make(map[uint64][]proto.Flit)
+		}
+		p.partial[f.PktID] = append(p.partial[f.PktID], f)
+	}
+	n := p.arrived[f.PktID] + 1
+	if n == f.Size {
+		delete(p.arrived, f.PktID)
+		if p.retainPayload {
+			if p.store == nil {
+				p.store = make(map[uint64][]proto.Flit)
+			}
+			p.store[f.PktID] = p.partial[f.PktID]
+			delete(p.partial, f.PktID)
+		}
+		return true
+	}
+	p.arrived[f.PktID] = n
+	return false
+}
+
+// Delete frees the space of a completed stash copy (positive ACK seen at
+// the originating end port).
+func (p *StashPool) Delete(pktID uint64, size int) {
+	p.used -= size
+	if p.used < 0 {
+		panic("buffer: stash pool delete underflow")
+	}
+	if p.retainPayload {
+		delete(p.store, pktID)
+	}
+}
+
+// TakeCopy removes and returns a retained stash copy for retransmission
+// (error-injection extension). The space remains committed until the
+// retransmitted packet is itself acknowledged and deleted; the returned
+// flits are a fresh copy for injection into the retrieval VC.
+func (p *StashPool) TakeCopy(pktID uint64) ([]proto.Flit, bool) {
+	fl, ok := p.store[pktID]
+	if !ok {
+		return nil, false
+	}
+	out := make([]proto.Flit, len(fl))
+	copy(out, fl)
+	return out, true
+}
+
+// PutCongested stores one flit of a congestion-stashed packet. The packet
+// becomes retrievable in FIFO order.
+func (p *StashPool) PutCongested(f proto.Flit) {
+	p.reserved--
+	p.used++
+	p.retrQ.Push(f)
+}
+
+// RetrFront returns the front flit awaiting retrieval, or nil.
+func (p *StashPool) RetrFront() *proto.Flit {
+	if p.retrQ.Empty() {
+		return nil
+	}
+	return p.retrQ.Front()
+}
+
+// PushRetr queues a flit for retrieval without charging pool space. It is
+// used by the retransmission extension: the retained store entry keeps
+// owning the space, and the flit's FlagStashCopy marks it so RetrPop knows
+// not to release anything.
+func (p *StashPool) PushRetr(f proto.Flit) {
+	p.retrQ.Push(f)
+}
+
+// RetrPop dequeues the front retrieval flit. Congestion-stashed flits free
+// their space; retransmission flits (FlagStashCopy) do not — their space is
+// owned by the retained store entry — and the flag is cleared so the flit
+// re-enters the network as ordinary data.
+func (p *StashPool) RetrPop() proto.Flit {
+	f := p.retrQ.Pop()
+	if f.Flags&proto.FlagStashCopy != 0 {
+		f.Flags &^= proto.FlagStashCopy
+		return f
+	}
+	p.used--
+	if p.used < 0 {
+		panic("buffer: stash pool retrieval underflow")
+	}
+	return f
+}
+
+// RetrLen returns the number of flits queued for retrieval.
+func (p *StashPool) RetrLen() int { return p.retrQ.Len() }

@@ -1,0 +1,283 @@
+// Package core implements the paper's contribution: the tiled high-radix
+// switch microarchitecture (Section II) and its stashing extension
+// (Section III). A Switch models, cycle by cycle: per-port DAMQ input
+// buffers, multi-drop row buses, an R×C array of tile crossbars with
+// virtual-output-queued row buffers and separable output-first allocation,
+// column channels into per-output multiplexers, and output buffers that
+// retain transmitted flits for one link round-trip (link-level
+// retransmission). The stashing extension adds the storage (S) and
+// retrieval (R) internal virtual channels, per-port stash partitions
+// managed as pools, two-stage join-shortest-queue stash path selection,
+// row-bus broadcast duplication for free packet copies, a side-band
+// bookkeeping network, and the end-to-end reliability and congestion
+// mitigation engines of Section IV.
+package core
+
+import (
+	"fmt"
+
+	"stashsim/internal/proto"
+	"stashsim/internal/route"
+	"stashsim/internal/topo"
+)
+
+// StashMode selects which use case (if any) drives the stash buffers.
+type StashMode uint8
+
+const (
+	// StashOff is the baseline tiled switch.
+	StashOff StashMode = iota
+	// StashE2E duplicates every data packet injected at an end port into
+	// a stash buffer until the destination's ACK returns (Section IV-A).
+	StashE2E
+	// StashCongestion absorbs HoL-blocked packets at congested inputs
+	// while ECN throttles the sources (Section IV-B).
+	StashCongestion
+)
+
+// String returns the mode name.
+func (m StashMode) String() string {
+	switch m {
+	case StashOff:
+		return "baseline"
+	case StashE2E:
+		return "e2e"
+	case StashCongestion:
+		return "congestion"
+	}
+	return fmt.Sprintf("StashMode(%d)", uint8(m))
+}
+
+// ECNParams configures explicit congestion notification (Section IV-B).
+type ECNParams struct {
+	// Enabled turns on congestion detection and packet marking in the
+	// switches and window management at the endpoints.
+	Enabled bool
+	// CongestFrac is the input-buffer occupancy fraction above which a
+	// port enters the congested state (0.5 in the paper).
+	CongestFrac float64
+	// WindowMax is the initial/maximum per-destination transmission
+	// window in flits (4096).
+	WindowMax int
+	// WindowFloor is the minimum window in flits (one max packet).
+	WindowFloor int
+	// DecreaseNum/DecreaseDen scale the window on every marked ACK
+	// (4/5 = the paper's 80%).
+	DecreaseNum, DecreaseDen int
+	// RecoverPeriod is the number of cycles per one-flit window
+	// recovery increment (30).
+	RecoverPeriod int64
+}
+
+// DefaultECN returns the paper's ECN parameters.
+func DefaultECN() ECNParams {
+	return ECNParams{
+		Enabled:       true,
+		CongestFrac:   0.5,
+		WindowMax:     4096,
+		WindowFloor:   proto.MaxPacketFlits,
+		DecreaseNum:   4,
+		DecreaseDen:   5,
+		RecoverPeriod: 30,
+	}
+}
+
+// Config describes one network build: topology, switch microarchitecture,
+// stashing mode, and protocol parameters. It is shared read-only by every
+// switch and endpoint.
+type Config struct {
+	Topo topo.Dragonfly
+	Lat  topo.Latencies
+
+	// Tiling. Rows*TileIn and Cols*TileOut must cover the radix; excess
+	// tile inputs/outputs are left unconnected (padding for radixes that
+	// do not factor evenly).
+	Rows, Cols, TileIn, TileOut int
+
+	// Port memory in flits: each port has InputBufFlits of input buffer
+	// and OutputBufFlits of output buffer (1000 + 1000 = 2×10 KB at
+	// 10 B/flit in the paper).
+	InputBufFlits, OutputBufFlits int
+	// RowBufFlits / ColBufFlits are per-VC row and column buffer sizes
+	// (4 packets = 96 flits).
+	RowBufFlits, ColBufFlits int
+
+	// RateNum/RateDen is the channel (and endpoint injection) rate in
+	// flits per internal cycle: 10/13 models the paper's 1.3× internal
+	// speedup. Setting 1/1 models no speedup (ablation).
+	RateNum, RateDen int
+
+	Mode StashMode
+	// StashCapFrac artificially restricts the usable stash capacity
+	// (1.0, 0.5, 0.25 in the paper's sensitivity study).
+	StashCapFrac float64
+	// StashFracEndpoint/StashFracLocal are the fractions of port memory
+	// partitioned for stashing on endpoint and local ports (7/8, 3/4).
+	// Global ports never stash.
+	StashFracEndpoint, StashFracLocal float64
+
+	ECN   ECNParams
+	Route route.Params
+
+	// SidebandLat is the latency in cycles of the dedicated side-band
+	// bookkeeping network between ports of one switch.
+	SidebandLat int64
+
+	// BankModel enables the two-bank interleaved port memory admission
+	// gate; false models ideal multiported memory.
+	BankModel bool
+
+	// RandomStashPlacement replaces the two-stage join-shortest-queue
+	// stash path selection with a uniformly random choice among feasible
+	// paths (ablation of Section III-A's JSQ policy).
+	RandomStashPlacement bool
+
+	// RetainPayload keeps stash-copy payloads for the retransmission
+	// extension (required when error injection is enabled).
+	RetainPayload bool
+
+	// AcksEnabled makes destinations acknowledge every data packet.
+	AcksEnabled bool
+
+	// ErrorRate is the per-packet probability that a destination
+	// endpoint NACKs a data packet (error-injection extension).
+	ErrorRate float64
+
+	Seed uint64
+}
+
+// Validate checks structural consistency.
+func (c *Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	radix := c.Topo.Radix()
+	if c.Rows*c.TileIn < radix {
+		return fmt.Errorf("core: %d tile rows x %d inputs cannot cover radix %d", c.Rows, c.TileIn, radix)
+	}
+	if c.Cols*c.TileOut < radix {
+		return fmt.Errorf("core: %d tile cols x %d outputs cannot cover radix %d", c.Cols, c.TileOut, radix)
+	}
+	if c.RateNum <= 0 || c.RateDen <= 0 || c.RateNum > c.RateDen {
+		return fmt.Errorf("core: invalid channel rate %d/%d", c.RateNum, c.RateDen)
+	}
+	if c.Mode != StashOff && c.StashCapFrac <= 0 {
+		return fmt.Errorf("core: stashing enabled with non-positive capacity fraction")
+	}
+	if c.Mode == StashE2E && !c.AcksEnabled {
+		return fmt.Errorf("core: end-to-end reliability requires ACKs")
+	}
+	if c.ErrorRate > 0 && !c.RetainPayload {
+		return fmt.Errorf("core: error injection requires RetainPayload for retransmission")
+	}
+	return nil
+}
+
+// stashFrac returns the fraction of a port's memory partitioned for
+// stashing, before the capacity restriction.
+func (c *Config) stashFrac(class topo.LinkClass) float64 {
+	if c.Mode == StashOff {
+		return 0
+	}
+	switch class {
+	case topo.Endpoint:
+		return c.StashFracEndpoint
+	case topo.Local:
+		return c.StashFracLocal
+	default:
+		return 0
+	}
+}
+
+// NormalInCap returns the normal (non-stash) input-buffer capacity in
+// flits for a port of the given class.
+func (c *Config) NormalInCap(class topo.LinkClass) int {
+	return c.InputBufFlits - int(float64(c.InputBufFlits)*c.stashFrac(class))
+}
+
+// NormalOutCap returns the normal output-buffer capacity in flits.
+func (c *Config) NormalOutCap(class topo.LinkClass) int {
+	return c.OutputBufFlits - int(float64(c.OutputBufFlits)*c.stashFrac(class))
+}
+
+// StashCap returns the usable stash-pool capacity in flits for a port of
+// the given class, after the capacity restriction.
+func (c *Config) StashCap(class topo.LinkClass) int {
+	part := float64(c.InputBufFlits+c.OutputBufFlits) * c.stashFrac(class)
+	return int(part * c.StashCapFrac)
+}
+
+// SwitchStashCap returns the total usable stash capacity of one switch.
+func (c *Config) SwitchStashCap() int {
+	d := c.Topo
+	return d.P*c.StashCap(topo.Endpoint) + (d.A-1)*c.StashCap(topo.Local) + d.H*c.StashCap(topo.Global)
+}
+
+// RowOf returns the tile row serving an input port.
+func (c *Config) RowOf(in int) int { return in / c.TileIn }
+
+// SlotOf returns the tile-input slot of an input port within its row.
+func (c *Config) SlotOf(in int) int { return in % c.TileIn }
+
+// ColOf returns the tile column serving an output port.
+func (c *Config) ColOf(out int) int { return out / c.TileOut }
+
+// TileOutOf returns the tile-output index of an output port within its
+// column.
+func (c *Config) TileOutOf(out int) int { return out % c.TileOut }
+
+// PaperConfig returns the full-scale configuration of Section V: a
+// 3080-node dragonfly of 20-port switches with 4×4 tiles of 5×5 crossbars.
+func PaperConfig() *Config {
+	return &Config{
+		Topo:              topo.Dragonfly{P: 5, A: 11, H: 5},
+		Lat:               topo.PaperLatencies(),
+		Rows:              4,
+		Cols:              4,
+		TileIn:            5,
+		TileOut:           5,
+		InputBufFlits:     1000,
+		OutputBufFlits:    1000,
+		RowBufFlits:       4 * proto.MaxPacketFlits,
+		ColBufFlits:       4 * proto.MaxPacketFlits,
+		RateNum:           10,
+		RateDen:           13,
+		Mode:              StashOff,
+		StashCapFrac:      1.0,
+		StashFracEndpoint: 7.0 / 8.0,
+		StashFracLocal:    3.0 / 4.0,
+		ECN:               ECNParams{Enabled: false},
+		Route:             route.DefaultParams(),
+		SidebandLat:       13,
+		AcksEnabled:       true,
+		Seed:              1,
+	}
+}
+
+// SmallConfig returns a scaled-down canonical dragonfly (342 nodes,
+// radix-11 switches, 3×3 tiles) with the same per-port resources, latency
+// structure and protocol parameters. Experiments on this preset preserve
+// the paper's qualitative shapes at ~1/10 the simulation cost.
+func SmallConfig() *Config {
+	c := PaperConfig()
+	c.Topo = topo.Dragonfly{P: 3, A: 6, H: 3}
+	// Keep the paper's 4x4 tile array (radix 11 padded into 4x3 tiles)
+	// so the internal-bandwidth overprovisioning ratio R and the number
+	// of stash columns match the paper's switch.
+	c.Rows, c.Cols, c.TileIn, c.TileOut = 4, 4, 3, 3
+	return c
+}
+
+// TinyConfig returns a 72-node dragonfly for unit and integration tests,
+// with shortened links so its small buffers still cover the link RTTs.
+func TinyConfig() *Config {
+	c := PaperConfig()
+	c.Topo = topo.Dragonfly{P: 2, A: 4, H: 2}
+	// 4x4 tile array (radix 7 padded into 4x2 tiles): same R and column
+	// count as the paper's switch.
+	c.Rows, c.Cols, c.TileIn, c.TileOut = 4, 4, 2, 2
+	c.InputBufFlits = 256
+	c.OutputBufFlits = 256
+	c.Lat = topo.Latencies{Endpoint: 7, Local: 13, Global: 65}
+	return c
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"stashsim/internal/buffer"
+	"stashsim/internal/proto"
+)
+
+// Link is one directed channel between two components (switch→switch,
+// endpoint→switch or switch→endpoint) together with its reverse credit
+// path. Flits written at cycle t become visible to the receiver at
+// t+Latency; credits likewise. Because Latency >= 1, a link may safely be
+// written by its producer and read by its consumer within the same parallel
+// simulation cycle (one-cycle lookahead).
+type Link struct {
+	Latency int64
+
+	flits   buffer.TimedRing
+	credits timedCreditRing
+}
+
+// NewLink builds a link with the given one-way latency in cycles.
+func NewLink(latency int64) *Link {
+	if latency < 1 {
+		panic("core: link latency must be at least one cycle")
+	}
+	return &Link{Latency: latency}
+}
+
+// SendFlit transmits a flit at cycle now; it arrives at now+Latency.
+func (l *Link) SendFlit(now int64, f proto.Flit) {
+	l.flits.Push(buffer.TimedFlit{At: now + l.Latency, Flit: f})
+}
+
+// RecvFlit returns the next flit whose arrival time has passed.
+func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
+	t, ok := l.flits.PopDue(now)
+	return t.Flit, ok
+}
+
+// PeekFlit returns a pointer to the next arrived flit without consuming
+// it, or nil. Used when the receiver may have to stall the write (bank
+// conflicts).
+func (l *Link) PeekFlit(now int64) *proto.Flit {
+	if l.flits.Empty() {
+		return nil
+	}
+	front := l.flits.Front()
+	if front.At > now {
+		return nil
+	}
+	return &front.Flit
+}
+
+// DropFlit consumes the flit previously returned by PeekFlit.
+func (l *Link) DropFlit(now int64) {
+	if _, ok := l.flits.PopDue(now); !ok {
+		panic("core: DropFlit with no due flit")
+	}
+}
+
+// InFlightFlits returns the number of flits on the wire.
+func (l *Link) InFlightFlits() int { return l.flits.Len() }
+
+// SendCredit returns a credit to the link's producer; it arrives after the
+// same latency as the forward path.
+func (l *Link) SendCredit(now int64, c proto.Credit) {
+	l.credits.push(timedCredit{at: now + l.Latency, c: c})
+}
+
+// RecvCredit returns the next credit whose arrival time has passed.
+func (l *Link) RecvCredit(now int64) (proto.Credit, bool) {
+	return l.credits.popDue(now)
+}
+
+type timedCredit struct {
+	at int64
+	c  proto.Credit
+}
+
+// timedCreditRing is a growable FIFO of in-flight credits.
+type timedCreditRing struct {
+	buf  []timedCredit
+	head int
+	n    int
+}
+
+func (r *timedCreditRing) push(t timedCredit) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 16
+		}
+		nb := make([]timedCredit, size)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *timedCreditRing) popDue(now int64) (proto.Credit, bool) {
+	if r.n == 0 || r.buf[r.head].at > now {
+		return proto.Credit{}, false
+	}
+	c := r.buf[r.head].c
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return c, true
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"stashsim/internal/buffer"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+)
+
+// effVC returns the output-buffer VC a column-buffer flit is heading to:
+// retrieval flits are returned to their original VC after the multiplexer
+// (Section III-A); everything else keeps its VC.
+func effVC(f *proto.Flit) int {
+	if f.VC == proto.VCRetrieve {
+		return int(f.RestoreVC)
+	}
+	return int(f.VC)
+}
+
+// stepMux performs one output-multiplexer cycle: round-robin among the
+// (row, VC) column buffer heads, moving one flit into the output buffer or
+// — for storage-VC flits — into the port's stash pool.
+func (s *Switch) stepMux(now sim.Tick, op *outPort) {
+	if op.colOcc == 0 {
+		return
+	}
+	cfg := s.cfg
+	n := cfg.Rows * proto.NumVCs
+	a := &op.muxArb
+	for k := 0; k < n; k++ {
+		idx := a.Next() + k
+		if idx >= n {
+			idx -= n
+		}
+		if op.colMask&(1<<uint(idx)) == 0 {
+			continue
+		}
+		row := idx / proto.NumVCs
+		vc := idx % proto.NumVCs
+		rb := &op.colBufs[row][vc]
+		f := rb.Front()
+		ev := effVC(f)
+		lk := &op.muxLock[ev]
+		if f.Head() {
+			if lk.active {
+				continue
+			}
+		} else if !lk.active || lk.pkt != f.PktID || lk.row != int8(row) {
+			continue
+		}
+		if vc == proto.VCStore {
+			// Stash arrival: pool space was reserved at the tile.
+			if !op.mem.Request(now, buffer.WriteStash) {
+				continue
+			}
+		} else {
+			if op.buf.Free() <= 0 {
+				continue
+			}
+			if !op.mem.Request(now, buffer.WriteNormal) {
+				continue
+			}
+		}
+		// Grant.
+		ff := rb.Pop()
+		op.colOcc--
+		if rb.Empty() {
+			op.colMask &^= 1 << uint(idx)
+		}
+		if ff.Head() {
+			lk.row, lk.pkt, lk.active = int8(row), ff.PktID, true
+		}
+		if ff.Tail() {
+			lk.active = false
+		}
+		a.Advance(idx)
+		if vc == proto.VCStore {
+			s.stashArrival(now, op, ff)
+		} else {
+			if ff.VC == proto.VCRetrieve {
+				ff.VC = ff.RestoreVC
+			}
+			op.buf.Push(ff)
+		}
+		return
+	}
+}
+
+// stashArrival deposits one storage-VC flit into the port's stash pool.
+// Completed end-to-end copies trigger the side-band location message back
+// to the originating end port.
+func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
+	pool := s.stash[op.id]
+	s.Counters.StashStores++
+	if f.Flags&proto.FlagStashCopy != 0 {
+		if pool.PutCopy(f) {
+			origin := int(f.Src) % s.cfg.Topo.P
+			s.sbSend(now, sbLocation, f.PktID, uint8(origin), uint8(op.id), f.Size)
+		}
+		return
+	}
+	pool.PutCongested(f)
+	if f.Head() {
+		s.Counters.CongStashed++
+		if f.Class == proto.ClassVictim {
+			s.Counters.CongStashedVict++
+		}
+	}
+}
+
+// stepOutput performs one output-port cycle: drain returned credits,
+// release flits whose link-level retention window has passed, and — when
+// the serialization accumulator allows — transmit one flit, observing
+// end-to-end ACKs at end ports on the way out.
+func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
+	cfg := s.cfg
+	if op.credits != nil {
+		for {
+			c, ok := op.link.RecvCredit(now)
+			if !ok {
+				break
+			}
+			op.credits.Return(c)
+		}
+	}
+	op.buf.Release(now)
+	if op.acc < cfg.RateDen {
+		op.acc += cfg.RateNum
+	}
+	if op.acc < cfg.RateDen {
+		return
+	}
+	occ := op.buf.Occupied()
+	if occ == 0 {
+		return
+	}
+	var req [proto.NumNetVCs]bool
+	any := false
+	for vc := 0; vc < proto.NumNetVCs; vc++ {
+		if occ&(1<<uint(vc)) == 0 {
+			continue
+		}
+		if op.credits != nil && op.credits.Avail(vc) <= 0 {
+			continue
+		}
+		req[vc] = true
+		any = true
+	}
+	if !any {
+		return
+	}
+	vc := op.sendArb.Grant(req[:])
+	if vc < 0 {
+		return
+	}
+	if !op.mem.Request(now, buffer.ReadNormal) {
+		return
+	}
+	f := op.buf.Send(vc, now+op.rtt)
+	if op.credits != nil {
+		op.credits.Take(&f)
+	}
+	if op.isEnd && cfg.Mode == StashE2E && f.Kind == proto.ACK && f.Head() {
+		s.e2eOnAck(now, op.id, &f)
+	}
+	if op.class != topo.Endpoint {
+		f.Hops++
+	}
+	op.link.SendFlit(now, f)
+	op.acc -= cfg.RateDen
+	s.Counters.FlitsSent++
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+)
+
+// The side-band network of Section IV-A: a dedicated low-bandwidth path
+// carrying bookkeeping messages between the ports of one switch. Messages
+// are small (packet tracking index, port numbers, stash buffer index) and
+// experience a fixed latency. Because the latency is constant the queue is
+// FIFO in delivery time.
+
+type sbKind uint8
+
+const (
+	// sbLocation: stash port -> originating end port, reporting where a
+	// completed end-to-end copy was stored.
+	sbLocation sbKind = iota
+	// sbDelete: end port -> stash port, freeing an acknowledged copy.
+	sbDelete
+	// sbRetransmit: end port -> stash port, requesting re-injection of a
+	// NACKed packet's copy.
+	sbRetransmit
+)
+
+type sbMsg struct {
+	at    int64
+	kind  sbKind
+	pktID uint64
+	dst   uint8 // destination port of the message
+	aux   uint8 // location: stash port; others unused
+	size  uint8
+}
+
+// sbRing is a growable FIFO of side-band messages.
+type sbRing struct {
+	buf  []sbMsg
+	head int
+	n    int
+}
+
+func (r *sbRing) push(m sbMsg) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 16
+		}
+		nb := make([]sbMsg, size)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+func (r *sbRing) popDue(now int64) (sbMsg, bool) {
+	if r.n == 0 || r.buf[r.head].at > now {
+		return sbMsg{}, false
+	}
+	m := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return m, true
+}
+
+// sbSend enqueues a side-band message for delivery after the configured
+// side-band latency.
+func (s *Switch) sbSend(now sim.Tick, kind sbKind, pktID uint64, dst, aux, size uint8) {
+	s.sideband.push(sbMsg{at: now + s.cfg.SidebandLat, kind: kind, pktID: pktID, dst: dst, aux: aux, size: size})
+	s.Counters.SidebandMsgs++
+}
+
+// stepSideband delivers due side-band messages.
+func (s *Switch) stepSideband(now sim.Tick) {
+	for {
+		m, ok := s.sideband.popDue(now)
+		if !ok {
+			return
+		}
+		switch m.kind {
+		case sbLocation:
+			s.onLocation(now, m)
+		case sbDelete:
+			s.stash[m.dst].Delete(m.pktID, int(m.size))
+		case sbRetransmit:
+			s.retransmit(now, int(m.dst), m.pktID)
+		}
+	}
+}
+
+// onLocation processes a stash-location report at the originating end
+// port, resolving any ACK/NACK that raced ahead of it (Section IV-A's
+// "ACK could return before the location message" case).
+func (s *Switch) onLocation(now sim.Tick, m sbMsg) {
+	e := s.track[m.dst][m.pktID]
+	if e == nil {
+		panic("core: location message for untracked packet")
+	}
+	switch {
+	case e.acked:
+		s.sbSend(now, sbDelete, m.pktID, m.aux, 0, e.size)
+		delete(s.track[m.dst], m.pktID)
+		s.Counters.E2EDeletes++
+	case e.nacked:
+		e.stashPort = int16(m.aux)
+		e.nacked = false
+		s.sbSend(now, sbRetransmit, m.pktID, m.aux, m.dst, e.size)
+	default:
+		e.stashPort = int16(m.aux)
+	}
+}
+
+// e2eOnAck handles an end-to-end ACK observed at the originating end port
+// as it exits toward the source endpoint.
+func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
+	e := s.track[port][f.PktID]
+	if e == nil {
+		// Duplicate ACK after completion (possible with
+		// retransmissions); nothing left to do.
+		return
+	}
+	if f.Flags&proto.FlagNack != 0 {
+		if e.stashPort >= 0 {
+			s.sbSend(now, sbRetransmit, f.PktID, uint8(e.stashPort), uint8(port), e.size)
+		} else {
+			e.nacked = true
+		}
+		return
+	}
+	if e.stashPort >= 0 {
+		s.sbSend(now, sbDelete, f.PktID, uint8(e.stashPort), 0, e.size)
+		delete(s.track[port], f.PktID)
+		s.Counters.E2EDeletes++
+	} else {
+		e.acked = true
+	}
+}
+
+// retransmit re-injects a retained stash copy into the network from the
+// stash port holding it (error-injection extension; the paper identifies
+// the mechanism but does not simulate it). The copy is re-routed from this
+// switch as a fresh packet and flows out through the retrieval VC; its
+// stash space stays committed until the eventual positive ACK deletes it.
+func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
+	pool := s.stash[stashPort]
+	flits, ok := pool.TakeCopy(pktID)
+	if !ok {
+		return // copy already deleted by a racing positive ACK
+	}
+	s.Counters.E2ERetransmits++
+	h := &flits[0]
+	h.Hops = 0
+	h.Phase = proto.PhaseInject
+	h.MidGroup = -1
+	h.Flags &^= proto.FlagNonMinimal | proto.FlagECN
+	dec := s.router.Route(h, s.ID, s)
+	nextVC := dec.NextVC
+	if dec.Eject {
+		nextVC = 0
+	}
+	for i := range flits {
+		fl := &flits[i]
+		fl.Hops = 0
+		fl.Phase = dec.Phase
+		fl.MidGroup = dec.MidGroup
+		fl.Flags = (fl.Flags &^ (proto.FlagNonMinimal | proto.FlagECN)) | proto.FlagStashCopy
+		if dec.NonMinimal {
+			fl.Flags |= proto.FlagNonMinimal
+		}
+		fl.OrigOut = uint8(dec.Out)
+		fl.RestoreVC = nextVC
+		pool.PushRetr(*fl)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"stashsim/internal/arb"
+	"stashsim/internal/buffer"
+	"stashsim/internal/proto"
+	"stashsim/internal/route"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+)
+
+// Counters aggregates per-switch event counts for probes and tests.
+type Counters struct {
+	FlitsSwitched   int64 // flits that crossed the row bus
+	FlitsSent       int64 // flits transmitted on output links
+	StashStores     int64 // flits written into stash pools
+	StashRetrieves  int64 // flits read back out of stash pools
+	ECNMarks        int64 // packets marked by congested inputs
+	CongestedCycles int64 // port-cycles spent in the congested state
+	StashFullStalls int64 // cycles an input stalled on storage-VC backpressure
+	E2ETracked      int64 // packets entered into end-to-end tracking
+	E2EDeletes      int64 // stash copies freed by positive ACKs
+	E2ERetransmits  int64 // retransmissions triggered by NACKs
+	SidebandMsgs    int64 // bookkeeping messages carried by the side-band network
+	CongStashed     int64 // packets absorbed by congestion stashing
+	CongStashedVict int64 // victim-class packets absorbed (diagnostics)
+}
+
+// routeLatch is the per-(input,VC) wormhole state holding the routing
+// decision of the packet currently crossing the row bus.
+type routeLatch struct {
+	active   bool
+	started  bool // head flit has left the input buffer
+	eject    bool
+	redirect bool  // congestion mode: packet diverted entirely to stash
+	out      uint8 // output port of the normal path
+	vc       uint8 // switch-internal (and outgoing-channel) VC
+	stashCol int8  // tile column of the stash path; -1 when none
+}
+
+type inPort struct {
+	id        int
+	class     topo.LinkClass
+	isEnd     bool
+	link      *Link
+	buf       *buffer.DAMQ
+	latch     [proto.NumNetVCs]routeLatch
+	arbiter   arb.RoundRobin // NumNetVCs input VCs + 1 retrieval candidate
+	congested bool
+	congestAt int  // occupancy threshold in flits
+	sVC       int8 // input VC holding the storage stream (-1 free)
+	mem       buffer.BankedMem
+}
+
+// tileLock serializes packets per (tile output, VC) so flits of different
+// packets never interleave on one column channel VC.
+type tileLock struct {
+	pkt    uint64
+	active bool
+}
+
+// stashLatch pins the JSQ-chosen stash port for the S-VC packet currently
+// crossing a tile from one input slot.
+type stashLatch struct {
+	port   uint8
+	active bool
+}
+
+type tile struct {
+	row, col int
+	rowBufs  [][]buffer.Ring // [TileIn][NumVCs]
+	alloc    *arb.Separable
+	vcNext   []int        // per-slot stream rotation pointer
+	outLock  [][]tileLock // [TileOut][NumVCs]
+	sLatch   []stashLatch // per slot
+	occupied int          // total queued flits (activity gate)
+	slotOcc  []uint16     // per-slot bitmask of non-empty streams
+	reqScr   []uint64     // scratch request masks
+	candScr  [][]uint8    // scratch candidate stream per (slot, out)
+}
+
+// muxLock serializes packets per output-buffer VC across the R column
+// channels feeding one output multiplexer.
+type muxLock struct {
+	row    int8
+	pkt    uint64
+	active bool
+}
+
+type outPort struct {
+	id      int
+	class   topo.LinkClass
+	isEnd   bool
+	link    *Link
+	buf     *buffer.OutBuf
+	colBufs [][]buffer.Ring // [Rows][NumVCs]
+	colOcc  int             // total flits in column buffers (activity gate)
+	colMask uint64          // bitmask of non-empty (row*NumVCs+vc) buffers
+	muxLock [proto.NumVCs]muxLock
+	muxArb  arb.RoundRobin // Rows*NumVCs candidates
+	sendArb arb.RoundRobin // network VCs
+	credits *buffer.CreditCounter
+	acc     int
+	mem     buffer.BankedMem
+	rtt     int64
+}
+
+// e2eEntry tracks one outstanding packet at its originating end port.
+type e2eEntry struct {
+	size      uint8
+	stashPort int16 // -1 until the location message arrives
+	acked     bool
+	nacked    bool
+}
+
+// Switch is one tiled (optionally stashing) switch instance.
+type Switch struct {
+	ID     int
+	cfg    *Config
+	router *route.Router
+	rng    *sim.RNG
+
+	radix int
+	in    []inPort
+	out   []outPort
+	tiles []tile              // Rows*Cols, row-major
+	stash []*buffer.StashPool // per port; nil-capacity pools allowed
+
+	sideband sbRing
+	track    []map[uint64]*e2eEntry // per end port
+
+	Counters Counters
+}
+
+// NewSwitch builds switch id under the shared configuration. Links are
+// attached afterwards by the network wiring (AttachInLink/AttachOutLink).
+func NewSwitch(id int, cfg *Config, rng *sim.RNG) *Switch {
+	d := cfg.Topo
+	radix := d.Radix()
+	s := &Switch{
+		ID:     id,
+		cfg:    cfg,
+		router: route.New(d, cfg.Route, rng.Derive(uint64(id)*2+1)),
+		rng:    rng.Derive(uint64(id) * 2),
+		radix:  radix,
+		in:     make([]inPort, radix),
+		out:    make([]outPort, radix),
+		tiles:  make([]tile, cfg.Rows*cfg.Cols),
+		stash:  make([]*buffer.StashPool, radix),
+		track:  make([]map[uint64]*e2eEntry, d.P),
+	}
+	for p := 0; p < radix; p++ {
+		class := d.PortClass(p)
+		ip := &s.in[p]
+		ip.id = p
+		ip.class = class
+		ip.isEnd = class == topo.Endpoint
+		ip.buf = buffer.NewDAMQ(cfg.NormalInCap(class), proto.NumNetVCs)
+		ip.arbiter = arb.NewRoundRobin(proto.NumNetVCs + 1)
+		ip.congestAt = int(cfg.ECN.CongestFrac * float64(ip.buf.Capacity()))
+		ip.sVC = -1
+		ip.mem.Ideal = !cfg.BankModel
+
+		op := &s.out[p]
+		op.id = p
+		op.class = class
+		op.isEnd = class == topo.Endpoint
+		op.buf = buffer.NewOutBuf(cfg.NormalOutCap(class), proto.NumNetVCs)
+		op.colBufs = make([][]buffer.Ring, cfg.Rows)
+		for r := range op.colBufs {
+			op.colBufs[r] = make([]buffer.Ring, proto.NumVCs)
+		}
+		op.muxArb = arb.NewRoundRobin(cfg.Rows * proto.NumVCs)
+		op.sendArb = arb.NewRoundRobin(proto.NumNetVCs)
+		op.mem.Ideal = !cfg.BankModel
+		op.rtt = 2 * cfg.Lat.Of(class)
+
+		s.stash[p] = buffer.NewStashPool(cfg.StashCap(class), cfg.RetainPayload)
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			t := &s.tiles[r*cfg.Cols+c]
+			t.row, t.col = r, c
+			t.rowBufs = make([][]buffer.Ring, cfg.TileIn)
+			t.candScr = make([][]uint8, cfg.TileIn)
+			for i := range t.rowBufs {
+				t.rowBufs[i] = make([]buffer.Ring, proto.NumVCs)
+				t.candScr[i] = make([]uint8, cfg.TileOut)
+			}
+			t.alloc = arb.NewSeparable(cfg.TileIn, cfg.TileOut)
+			t.vcNext = make([]int, cfg.TileIn)
+			t.outLock = make([][]tileLock, cfg.TileOut)
+			for o := range t.outLock {
+				t.outLock[o] = make([]tileLock, proto.NumVCs)
+			}
+			t.sLatch = make([]stashLatch, cfg.TileIn)
+			t.slotOcc = make([]uint16, cfg.TileIn)
+			t.reqScr = make([]uint64, cfg.TileIn)
+		}
+	}
+	for p := 0; p < d.P; p++ {
+		s.track[p] = make(map[uint64]*e2eEntry)
+	}
+	return s
+}
+
+// AttachInLink wires the incoming link of input port p.
+func (s *Switch) AttachInLink(p int, l *Link) { s.in[p].link = l }
+
+// AttachOutLink wires the outgoing link of output port p. The credit
+// counter mirrors the downstream input buffer; pass zero capacity for
+// endpoint-facing ports (endpoints sink flits without credits).
+func (s *Switch) AttachOutLink(p int, l *Link, downstreamCap int) {
+	s.out[p].link = l
+	if downstreamCap > 0 {
+		s.out[p].credits = buffer.NewCreditCounter(downstreamCap, proto.NumNetVCs)
+	}
+}
+
+// Config returns the shared configuration.
+func (s *Switch) Config() *Config { return s.cfg }
+
+// OutputQueue implements route.Oracle: the occupancy signal used by the
+// adaptive routing decision is the count of flits awaiting transmission at
+// an output port plus its column-buffer backlog.
+func (s *Switch) OutputQueue(port int) int {
+	return s.out[port].buf.Queued() + s.out[port].colOcc
+}
+
+// InputOccupancy returns the occupancy of an input port's normal buffer.
+func (s *Switch) InputOccupancy(port int) int { return s.in[port].buf.Used() }
+
+// Congested reports whether an input port is in the ECN congested state.
+func (s *Switch) Congested(port int) bool { return s.in[port].congested }
+
+// StashUsed returns the committed stash occupancy in flits across the
+// switch (including packet reservations in flight).
+func (s *Switch) StashUsed() int {
+	total := 0
+	for _, p := range s.stash {
+		total += p.Used()
+	}
+	return total
+}
+
+// StashReserved returns the switch-wide total of in-flight stash
+// reservations (granted, not yet fully arrived).
+func (s *Switch) StashReserved() int {
+	total := 0
+	for _, p := range s.stash {
+		total += p.Reserved()
+	}
+	return total
+}
+
+// StashCapTotal returns the switch's total usable stash capacity.
+func (s *Switch) StashCapTotal() int {
+	total := 0
+	for _, p := range s.stash {
+		total += p.Capacity()
+	}
+	return total
+}
+
+// PortStash exposes a port's stash pool for tests and probes.
+func (s *Switch) PortStash(port int) *buffer.StashPool { return s.stash[port] }
+
+// TrackedPackets returns the number of outstanding end-to-end tracking
+// entries across all end ports.
+func (s *Switch) TrackedPackets() int {
+	n := 0
+	for _, m := range s.track {
+		n += len(m)
+	}
+	return n
+}
+
+// BankConflicts returns the total bank-conflict stalls across all port
+// memories.
+func (s *Switch) BankConflicts() int64 {
+	var n int64
+	for p := range s.in {
+		n += s.in[p].mem.Conflicts + s.out[p].mem.Conflicts
+	}
+	return n
+}
+
+// Step advances the switch one cycle. Stages run in reverse pipeline order
+// so a flit advances at most one stage per cycle; arrivals are folded in
+// last so flits that land at cycle t first compete for the row bus at t+1.
+func (s *Switch) Step(now sim.Tick) {
+	s.stepSideband(now)
+	for p := range s.out {
+		s.stepOutput(now, &s.out[p])
+	}
+	for p := range s.out {
+		s.stepMux(now, &s.out[p])
+	}
+	for t := range s.tiles {
+		s.stepTile(now, &s.tiles[t])
+	}
+	for p := range s.in {
+		s.stepRowBus(now, &s.in[p])
+	}
+	for p := range s.in {
+		s.stepArrivals(now, &s.in[p])
+	}
+}

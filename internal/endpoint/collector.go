@@ -1,0 +1,107 @@
+package endpoint
+
+import (
+	"stashsim/internal/proto"
+	"stashsim/internal/stats"
+)
+
+// Collector aggregates measurements across endpoints. A single collector
+// is shared by all endpoints of a network; the simulator's default
+// executor is serial, so no synchronization is needed. Measurement can be
+// gated (warmup) and reset between phases.
+type Collector struct {
+	// Enabled gates all recording (false during warmup).
+	Enabled bool
+
+	// LatAcc accumulates packet latency per traffic class.
+	LatAcc [proto.NumClasses]stats.Acc
+	// LatHist, when non-nil for a class, records the full latency
+	// distribution (allocate only for the classes a figure needs).
+	LatHist [proto.NumClasses]*stats.Hist
+	// Series, when non-nil for a class, records latency over time.
+	Series [proto.NumClasses]*stats.TimeSeries
+
+	OfferedFlits   [proto.NumClasses]int64
+	DeliveredFlits [proto.NumClasses]int64
+	DeliveredPkts  [proto.NumClasses]int64
+
+	Acks          int64
+	Errors        int64
+	WindowShrinks int64
+}
+
+// NewCollector returns an enabled collector with no optional sinks.
+func NewCollector() *Collector { return &Collector{Enabled: true} }
+
+// WithHist allocates a latency histogram for the given class.
+func (c *Collector) WithHist(class proto.Class) *Collector {
+	c.LatHist[class] = &stats.Hist{}
+	return c
+}
+
+// WithSeries allocates a latency time series for the given class.
+func (c *Collector) WithSeries(class proto.Class, binWidth int64) *Collector {
+	c.Series[class] = stats.NewTimeSeries(binWidth)
+	return c
+}
+
+// Offered records generated load.
+func (c *Collector) Offered(class proto.Class, flits int64) {
+	if !c.Enabled {
+		return
+	}
+	c.OfferedFlits[class] += flits
+}
+
+// Packet records one delivered data packet.
+func (c *Collector) Packet(now int64, class proto.Class, latency, flits int64) {
+	if !c.Enabled {
+		return
+	}
+	c.LatAcc[class].Add(float64(latency))
+	c.DeliveredFlits[class] += flits
+	c.DeliveredPkts[class]++
+	if h := c.LatHist[class]; h != nil {
+		h.Add(latency)
+	}
+	if s := c.Series[class]; s != nil {
+		s.Add(now, float64(latency))
+	}
+}
+
+// Reset clears all measurements (optional sinks keep their configuration).
+func (c *Collector) Reset() {
+	for i := range c.LatAcc {
+		c.LatAcc[i] = stats.Acc{}
+		if c.LatHist[i] != nil {
+			c.LatHist[i] = &stats.Hist{}
+		}
+		if c.Series[i] != nil {
+			c.Series[i] = stats.NewTimeSeries(c.Series[i].BinWidth)
+		}
+		c.OfferedFlits[i] = 0
+		c.DeliveredFlits[i] = 0
+		c.DeliveredPkts[i] = 0
+	}
+	c.Acks = 0
+	c.Errors = 0
+	c.WindowShrinks = 0
+}
+
+// TotalDeliveredFlits sums delivered data flits over all classes.
+func (c *Collector) TotalDeliveredFlits() int64 {
+	var n int64
+	for _, v := range c.DeliveredFlits {
+		n += v
+	}
+	return n
+}
+
+// TotalOfferedFlits sums offered data flits over all classes.
+func (c *Collector) TotalOfferedFlits() int64 {
+	var n int64
+	for _, v := range c.OfferedFlits {
+		n += v
+	}
+	return n
+}

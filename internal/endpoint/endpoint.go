@@ -1,0 +1,438 @@
+// Package endpoint models network endpoints: message segmentation into
+// packets, InfiniBand-style queue pairs (a send queue per destination with
+// per-packet round-robin arbitration for the injection port), hardware ACK
+// generation at destinations, ECN transmission windows (Section IV-B), and
+// the error-injection hook of the retransmission extension.
+package endpoint
+
+import (
+	"stashsim/internal/buffer"
+	"stashsim/internal/core"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+)
+
+// maxQueueScan bounds the per-cycle scan over active send queues so one
+// endpoint cycle stays O(1) even with thousands of blocked destinations.
+const maxQueueScan = 64
+
+// pktDesc describes one queued packet awaiting injection.
+type pktDesc struct {
+	dst   int32
+	msgID uint32
+	size  uint8
+	class proto.Class
+}
+
+// sendQ is the per-destination packet queue of a queue pair.
+type sendQ struct {
+	pkts []pktDesc
+	head int
+}
+
+func (q *sendQ) len() int { return len(q.pkts) - q.head }
+
+func (q *sendQ) push(p pktDesc) { q.pkts = append(q.pkts, p) }
+
+func (q *sendQ) front() *pktDesc { return &q.pkts[q.head] }
+
+func (q *sendQ) pop() pktDesc {
+	p := q.pkts[q.head]
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// window is one ECN transmission window (per destination).
+type window struct {
+	size     int // current window in flits
+	inflight int // unacknowledged flits
+	lastGrow int64
+}
+
+// curPkt is the packet currently being injected (wormhole: it finishes
+// before any other traffic may use the injection channel).
+type curPkt struct {
+	active bool
+	desc   pktDesc
+	pktID  uint64
+	birth  int64
+	seq    uint8
+}
+
+// Delivery is passed to the trace engine's completion hook.
+type Delivery struct {
+	Now   int64
+	Src   int32
+	MsgID uint32
+	Flits int
+}
+
+// Endpoint is one network endpoint.
+type Endpoint struct {
+	ID  int32
+	cfg *core.Config
+	rng *sim.RNG
+
+	toSw    *core.Link
+	fromSw  *core.Link
+	credits *buffer.CreditCounter
+	acc     int
+
+	queues      map[int32]*sendQ
+	active      []int32
+	rrIdx       int
+	queuedFlits int64
+	cur         curPkt
+	ackQ        []proto.Flit
+	ackHead     int
+	pktSeq      uint32
+
+	windows map[int32]*window
+
+	rxECN [proto.NumNetVCs]bool
+
+	// Gen, when non-nil, is invoked at the start of every cycle to
+	// generate traffic (assigned by the harness).
+	Gen func(now sim.Tick, e *Endpoint)
+
+	// OnDelivered, when non-nil, is invoked for every delivered data
+	// packet (used by the trace replay engine).
+	OnDelivered func(d Delivery)
+
+	// Collector receives measurements; shared across endpoints by the
+	// network (the default executor is serial).
+	Collector *Collector
+
+	// SentFlits counts every flit injected (data and ACK), used by
+	// per-endpoint offered-load probes.
+	SentFlits int64
+}
+
+// New builds endpoint id. Links and credits are attached by the network.
+func New(id int32, cfg *core.Config, rng *sim.RNG) *Endpoint {
+	return &Endpoint{
+		ID:      id,
+		cfg:     cfg,
+		rng:     rng.Derive(0x45505453 ^ uint64(id)),
+		queues:  make(map[int32]*sendQ),
+		windows: make(map[int32]*window),
+	}
+}
+
+// Attach wires the endpoint's links: toSw carries injected flits (credits
+// return on it), fromSw carries ejected flits. inBufCap is the capacity of
+// the switch end-port input buffer the credits mirror.
+func (e *Endpoint) Attach(toSw, fromSw *core.Link, inBufCap int) {
+	e.toSw = toSw
+	e.fromSw = fromSw
+	e.credits = buffer.NewCreditCounter(inBufCap, proto.NumNetVCs)
+}
+
+// QueuedFlits returns the backlog awaiting injection in flits.
+func (e *Endpoint) QueuedFlits() int64 { return e.queuedFlits }
+
+// EnqueueMessage segments a message into packets and queues them on the
+// destination's send queue. It must not be called with dst == e.ID.
+func (e *Endpoint) EnqueueMessage(dst int32, flits int, class proto.Class, msgID uint32) {
+	if dst == e.ID {
+		panic("endpoint: message to self")
+	}
+	q := e.queues[dst]
+	if q == nil {
+		q = &sendQ{}
+		e.queues[dst] = q
+	}
+	wasEmpty := q.len() == 0
+	for _, size := range proto.Segment(flits) {
+		q.push(pktDesc{dst: dst, msgID: msgID, size: uint8(size), class: class})
+	}
+	e.queuedFlits += int64(flits)
+	if wasEmpty {
+		e.active = append(e.active, dst)
+	}
+	if e.Collector != nil {
+		e.Collector.Offered(class, int64(flits))
+	}
+}
+
+// Step advances the endpoint one cycle: generate traffic, consume ejected
+// flits (producing ACKs), and inject one flit when the serialization
+// accumulator and credits allow.
+func (e *Endpoint) Step(now sim.Tick) {
+	if e.Gen != nil {
+		e.Gen(now, e)
+	}
+	e.stepRecv(now)
+	e.stepInject(now)
+}
+
+func (e *Endpoint) stepRecv(now sim.Tick) {
+	for {
+		f, ok := e.fromSw.RecvFlit(now)
+		if !ok {
+			return
+		}
+		if f.Head() {
+			e.rxECN[f.VC] = f.Flags&proto.FlagECN != 0
+		}
+		if !f.Tail() {
+			continue
+		}
+		if f.Kind == proto.ACK {
+			e.onAck(now, &f)
+			continue
+		}
+		// Data packet fully arrived.
+		if e.cfg.ErrorRate > 0 && e.rng.Bernoulli(e.cfg.ErrorRate) {
+			// Error-injection extension: corrupt arrival, NACK it.
+			e.pushAck(now, &f, true)
+			if e.Collector != nil {
+				e.Collector.Errors++
+			}
+			continue
+		}
+		if e.Collector != nil {
+			e.Collector.Packet(now, f.Class, now-f.Birth, int64(f.Size))
+		}
+		if e.OnDelivered != nil {
+			e.OnDelivered(Delivery{Now: now, Src: f.Src, MsgID: f.MsgID, Flits: int(f.Size)})
+		}
+		if e.cfg.AcksEnabled {
+			e.pushAck(now, &f, false)
+		}
+	}
+}
+
+// pushAck queues a hardware-generated single-flit ACK. Its MsgID field
+// carries the acknowledged packet's size so the source can settle its
+// transmission window, and the ECN mark is copied from the data packet.
+func (e *Endpoint) pushAck(now sim.Tick, f *proto.Flit, nack bool) {
+	flags := proto.FlagHead | proto.FlagTail
+	if e.rxECN[f.VC] {
+		flags |= proto.FlagECN
+	}
+	if nack {
+		flags |= proto.FlagNack
+	}
+	e.ackQ = append(e.ackQ, proto.Flit{
+		Src:      e.ID,
+		Dst:      f.Src,
+		MsgID:    uint32(f.Size),
+		PktID:    f.PktID,
+		Birth:    now,
+		Size:     1,
+		Kind:     proto.ACK,
+		Flags:    flags,
+		Class:    f.Class,
+		MidGroup: -1,
+	})
+}
+
+func (e *Endpoint) stepInject(now sim.Tick) {
+	for {
+		c, ok := e.toSw.RecvCredit(now)
+		if !ok {
+			break
+		}
+		e.credits.Return(c)
+	}
+	if e.acc < e.cfg.RateDen {
+		e.acc += e.cfg.RateNum
+	}
+	if e.acc < e.cfg.RateDen {
+		return
+	}
+	if e.credits.Avail(0) <= 0 {
+		return
+	}
+	f, ok := e.nextFlit(now)
+	if !ok {
+		return
+	}
+	e.credits.Take(&f)
+	e.toSw.SendFlit(now, f)
+	e.acc -= e.cfg.RateDen
+	e.SentFlits++
+}
+
+// nextFlit selects the next flit to inject: the packet in progress
+// continues; otherwise ACKs have priority (they are hardware-generated and
+// independent of higher-level protocols); otherwise the next eligible send
+// queue starts a packet.
+func (e *Endpoint) nextFlit(now sim.Tick) (proto.Flit, bool) {
+	if e.cur.active {
+		return e.emit(), true
+	}
+	if e.ackHead < len(e.ackQ) {
+		f := e.ackQ[e.ackHead]
+		e.ackHead++
+		if e.ackHead == len(e.ackQ) {
+			e.ackQ = e.ackQ[:0]
+			e.ackHead = 0
+		}
+		return f, true
+	}
+	if !e.startPacket(now) {
+		return proto.Flit{}, false
+	}
+	return e.emit(), true
+}
+
+// startPacket picks the next destination by per-packet round robin over
+// the active queue-pair send queues, honoring ECN windows.
+func (e *Endpoint) startPacket(now sim.Tick) bool {
+	n := len(e.active)
+	if n == 0 {
+		return false
+	}
+	scan := n
+	if scan > maxQueueScan {
+		scan = maxQueueScan
+	}
+	for i := 0; i < scan; i++ {
+		k := e.rrIdx + i
+		if k >= n {
+			k -= n
+		}
+		dst := e.active[k]
+		q := e.queues[dst]
+		desc := *q.front()
+		var w *window
+		if e.cfg.ECN.Enabled {
+			w = e.window(dst)
+			e.growWindow(w, now)
+			if w.inflight+int(desc.size) > w.size {
+				continue
+			}
+		}
+		q.pop()
+		if q.len() == 0 {
+			// Swap-remove the drained queue from the active list.
+			e.active[k] = e.active[n-1]
+			e.active = e.active[:n-1]
+			if e.rrIdx >= len(e.active) {
+				e.rrIdx = 0
+			}
+		} else {
+			e.rrIdx = k + 1
+			if e.rrIdx >= n {
+				e.rrIdx = 0
+			}
+		}
+		if w != nil {
+			w.inflight += int(desc.size)
+		}
+		e.cur = curPkt{
+			active: true,
+			desc:   desc,
+			pktID:  proto.MakePktID(e.ID, e.pktSeq),
+			birth:  now,
+		}
+		e.pktSeq++
+		return true
+	}
+	if scan < n {
+		// Rotate so a long blocked prefix cannot starve later queues.
+		e.rrIdx += scan
+		if e.rrIdx >= n {
+			e.rrIdx -= n
+		}
+	}
+	return false
+}
+
+// emit produces the next flit of the packet in progress.
+func (e *Endpoint) emit() proto.Flit {
+	c := &e.cur
+	f := proto.Flit{
+		Src:      e.ID,
+		Dst:      c.desc.dst,
+		MsgID:    c.desc.msgID,
+		PktID:    c.pktID,
+		Birth:    c.birth,
+		Seq:      c.seq,
+		Size:     c.desc.size,
+		Kind:     proto.Data,
+		Class:    c.desc.class,
+		MidGroup: -1,
+		Phase:    proto.PhaseInject,
+	}
+	if c.seq == 0 {
+		f.Flags |= proto.FlagHead
+	}
+	if c.seq == c.desc.size-1 {
+		f.Flags |= proto.FlagTail
+		c.active = false
+	}
+	c.seq++
+	e.queuedFlits--
+	return f
+}
+
+// onAck settles the transmission window for the acknowledged destination.
+func (e *Endpoint) onAck(now sim.Tick, f *proto.Flit) {
+	if e.Collector != nil {
+		e.Collector.Acks++
+	}
+	if !e.cfg.ECN.Enabled {
+		return
+	}
+	w := e.window(f.Src)
+	origSize := int(f.MsgID)
+	if f.Flags&proto.FlagNack == 0 {
+		w.inflight -= origSize
+		if w.inflight < 0 {
+			w.inflight = 0
+		}
+	}
+	if f.Flags&proto.FlagECN != 0 {
+		e.growWindow(w, now)
+		w.size = w.size * e.cfg.ECN.DecreaseNum / e.cfg.ECN.DecreaseDen
+		if w.size < e.cfg.ECN.WindowFloor {
+			w.size = e.cfg.ECN.WindowFloor
+		}
+		w.lastGrow = now
+		if e.Collector != nil {
+			e.Collector.WindowShrinks++
+		}
+	}
+}
+
+func (e *Endpoint) window(dst int32) *window {
+	w := e.windows[dst]
+	if w == nil {
+		w = &window{size: e.cfg.ECN.WindowMax, lastGrow: 0}
+		e.windows[dst] = w
+	}
+	return w
+}
+
+// growWindow applies the timer-based recovery: one flit per RecoverPeriod
+// cycles since the last update, capped at the maximum window.
+func (e *Endpoint) growWindow(w *window, now sim.Tick) {
+	if w.size >= e.cfg.ECN.WindowMax {
+		w.lastGrow = now
+		return
+	}
+	steps := (now - w.lastGrow) / e.cfg.ECN.RecoverPeriod
+	if steps <= 0 {
+		return
+	}
+	w.size += int(steps)
+	if w.size > e.cfg.ECN.WindowMax {
+		w.size = e.cfg.ECN.WindowMax
+	}
+	w.lastGrow += steps * e.cfg.ECN.RecoverPeriod
+}
+
+// WindowOf exposes a destination's current window size (tests, probes).
+func (e *Endpoint) WindowOf(dst int32) int {
+	if w := e.windows[dst]; w != nil {
+		return w.size
+	}
+	return e.cfg.ECN.WindowMax
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/stats"
+	"stashsim/internal/traffic"
+)
+
+// Fig5 reproduces Figures 5a and 5b: uniform-random single-packet-message
+// traffic with end-to-end reliability stashing, swept over offered load
+// for the baseline and the 100/50/25% stash-capacity networks. It returns
+// the latency-vs-load table (5a) and the offered-vs-accepted table (5b).
+//
+// Expected shape (paper): baseline, 100% and 50% curves are nearly
+// identical, saturating near 90% (ACK bandwidth); 25% saturates early, at
+// the Little's-law limit of its per-endpoint stash share (~75-78%).
+func Fig5(o *Options) (*stats.Table, *stats.Table, error) {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if o.Quick {
+		loads = []float64{0.2, 0.5, 0.8, 1.0}
+	}
+	warm := o.scaleDur(10000)
+	meas := o.scaleDur(25000)
+
+	lat := &stats.Table{Header: []string{"OfferedLoad"}}
+	acc := &stats.Table{Header: []string{"OfferedLoad"}}
+	for _, v := range e2eVariants() {
+		lat.Header = append(lat.Header, v.name)
+		acc.Header = append(acc.Header, v.name)
+	}
+
+	for _, load := range loads {
+		latRow := []string{fmtF(load, 2)}
+		accRow := []string{fmtF(load, 2)}
+		for _, v := range e2eVariants() {
+			cfg := o.netConfig(v.mode, v.capFrac, false)
+			n := mustNet(cfg)
+			rng := sim.NewRNG(cfg.Seed + 1000)
+			rate := n.ChannelRate()
+			for _, ep := range n.Endpoints {
+				ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+					load, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+			}
+			n.Warmup(warm)
+			n.Run(meas)
+			meanNS := n.Collector.LatAcc[proto.ClassDefault].Mean() / 1.3
+			latRow = append(latRow, fmtF(meanNS/1000, 3)) // us
+			accRow = append(accRow, fmtF(n.NormalizedAccepted(meas), 3))
+			o.logf("fig5 load=%.2f %s: lat=%.3fus acc=%.3f", load, v.name,
+				meanNS/1000, n.NormalizedAccepted(meas))
+		}
+		lat.AddRow(latRow...)
+		acc.AddRow(accRow...)
+	}
+	if err := o.writeCSV("fig5a_latency", lat); err != nil {
+		return nil, nil, err
+	}
+	return lat, acc, o.writeCSV("fig5b_throughput", acc)
+}

@@ -1,0 +1,128 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each experiment builds
+// the networks it needs, runs the paper's workload, and emits the same
+// rows/series the paper reports, as an aligned text table and as CSV.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stashsim/internal/core"
+	"stashsim/internal/network"
+	"stashsim/internal/stats"
+)
+
+// Options selects the scale and duration of the experiments.
+type Options struct {
+	// Preset selects the network scale: "tiny", "small" (default), or
+	// "paper" (the full 3080-node configuration of Section V).
+	Preset string
+	// OutDir, when non-empty, receives one CSV file per experiment.
+	OutDir string
+	// Quick shortens warmup/measurement windows (used by the benchmark
+	// harness so `go test -bench` finishes in minutes).
+	Quick bool
+	// Seed is the master random seed.
+	Seed uint64
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// base returns the preset's base configuration.
+func (o *Options) base() *core.Config {
+	var cfg *core.Config
+	switch o.Preset {
+	case "paper":
+		cfg = core.PaperConfig()
+	case "tiny":
+		cfg = core.TinyConfig()
+	default:
+		cfg = core.SmallConfig()
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// usToCycles converts microseconds to internal cycles (1.3 cycles/ns).
+func usToCycles(us float64) int64 { return int64(us * 1300) }
+
+// cyclesToUS converts internal cycles to microseconds.
+func cyclesToUS(c int64) float64 { return float64(c) / 1300 }
+
+// scaleDur shortens durations under Quick.
+func (o *Options) scaleDur(cycles int64) int64 {
+	if o.Quick {
+		return cycles / 5
+	}
+	return cycles
+}
+
+// writeCSV writes a table to OutDir/<name>.csv when OutDir is set.
+func (o *Options) writeCSV(name string, t *stats.Table) error {
+	if o.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(o.OutDir, name+".csv"), []byte(t.CSV()), 0o644)
+}
+
+// netConfig derives one of the experiment network variants from the base
+// configuration.
+func (o *Options) netConfig(mode core.StashMode, capFrac float64, ecn bool) *core.Config {
+	cfg := o.base()
+	cfg.Mode = mode
+	cfg.StashCapFrac = capFrac
+	if ecn {
+		cfg.ECN = core.DefaultECN()
+	}
+	return cfg
+}
+
+// variant labels one network configuration in an experiment.
+type variant struct {
+	name    string
+	mode    core.StashMode
+	capFrac float64
+}
+
+// e2eVariants are the four networks of Figures 5 and 6.
+func e2eVariants() []variant {
+	return []variant{
+		{"Baseline", core.StashOff, 1.0},
+		{"Stash 100% Cap.", core.StashE2E, 1.0},
+		{"Stash 50% Cap.", core.StashE2E, 0.5},
+		{"Stash 25% Cap.", core.StashE2E, 0.25},
+	}
+}
+
+// congVariants are the three ECN networks of Figures 7-9.
+func congVariants() []variant {
+	return []variant{
+		{"Baseline ECN", core.StashOff, 1.0},
+		{"Stash 100% Cap.", core.StashCongestion, 1.0},
+		{"Stash 50% Cap.", core.StashCongestion, 0.5},
+	}
+}
+
+func mustNet(cfg *core.Config) *network.Network {
+	n, err := network.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return n
+}
+
+// fmtF formats a float with the given precision.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

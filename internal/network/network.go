@@ -1,0 +1,197 @@
+// Package network assembles a complete simulated system: a dragonfly of
+// tiled (optionally stashing) switches, endpoints, and the latency links
+// between them, plus the warmup/measure phasing used by the experiments.
+package network
+
+import (
+	"fmt"
+
+	"stashsim/internal/core"
+	"stashsim/internal/endpoint"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+)
+
+// Network is one fully wired simulated system.
+type Network struct {
+	Cfg       *core.Config
+	Switches  []*core.Switch
+	Endpoints []*endpoint.Endpoint
+	Collector *endpoint.Collector
+
+	Now sim.Tick
+}
+
+// New builds and wires a network from the configuration.
+func New(cfg *core.Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.Topo
+	rng := sim.NewRNG(cfg.Seed)
+	n := &Network{
+		Cfg:       cfg,
+		Switches:  make([]*core.Switch, d.NumSwitches()),
+		Endpoints: make([]*endpoint.Endpoint, d.NumEndpoints()),
+		Collector: endpoint.NewCollector(),
+	}
+	swRNG := rng.Derive(1)
+	epRNG := rng.Derive(2)
+	for i := range n.Switches {
+		n.Switches[i] = core.NewSwitch(i, cfg, swRNG)
+	}
+	for i := range n.Endpoints {
+		ep := endpoint.New(int32(i), cfg, epRNG)
+		ep.Collector = n.Collector
+		n.Endpoints[i] = ep
+	}
+	// Wire every directed link exactly once, as seen from its producer.
+	for sw := 0; sw < d.NumSwitches(); sw++ {
+		s := n.Switches[sw]
+		for port := 0; port < d.Radix(); port++ {
+			class := d.PortClass(port)
+			if class == topo.Endpoint {
+				ep := n.Endpoints[d.EndpointID(sw, port)]
+				up := core.NewLink(cfg.Lat.Endpoint)   // endpoint -> switch
+				down := core.NewLink(cfg.Lat.Endpoint) // switch -> endpoint
+				s.AttachInLink(port, up)
+				s.AttachOutLink(port, down, 0)
+				ep.Attach(up, down, cfg.NormalInCap(topo.Endpoint))
+				continue
+			}
+			nsw, nport := d.Neighbor(sw, port)
+			l := core.NewLink(cfg.Lat.Of(class))
+			s.AttachOutLink(port, l, cfg.NormalInCap(d.PortClass(nport)))
+			n.Switches[nsw].AttachInLink(nport, l)
+		}
+	}
+	return n, nil
+}
+
+// Step advances the whole network one cycle.
+func (n *Network) Step() {
+	now := n.Now
+	for _, ep := range n.Endpoints {
+		ep.Step(now)
+	}
+	for _, s := range n.Switches {
+		s.Step(now)
+	}
+	n.Now++
+}
+
+// Run advances the network by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// RunUntil advances the network until done() reports true or the budget
+// of cycles is exhausted, checking every checkEvery cycles. It returns
+// whether done() fired.
+func (n *Network) RunUntil(budget, checkEvery int64, done func() bool) bool {
+	for spent := int64(0); spent < budget; spent += checkEvery {
+		step := checkEvery
+		if rem := budget - spent; step > rem {
+			step = rem
+		}
+		n.Run(step)
+		if done() {
+			return true
+		}
+	}
+	return done()
+}
+
+// Warmup runs the network with measurement disabled, then clears and
+// re-enables the collector. Experiments call this before their measured
+// window so statistics reflect steady state.
+func (n *Network) Warmup(cycles int64) {
+	n.Collector.Enabled = false
+	n.Run(cycles)
+	n.Collector.Reset()
+	n.Collector.Enabled = true
+}
+
+// ChannelRate returns the channel capacity in flits per internal cycle.
+func (n *Network) ChannelRate() float64 {
+	return float64(n.Cfg.RateNum) / float64(n.Cfg.RateDen)
+}
+
+// NormalizedAccepted returns delivered data flits per node per cycle over
+// the measured window, normalized so 1.0 is full channel capacity.
+func (n *Network) NormalizedAccepted(cycles int64) float64 {
+	per := float64(n.Collector.TotalDeliveredFlits()) / float64(cycles) / float64(len(n.Endpoints))
+	return per / n.ChannelRate()
+}
+
+// NormalizedOffered returns generated data flits per node per cycle over
+// the measured window, normalized to channel capacity.
+func (n *Network) NormalizedOffered(cycles int64) float64 {
+	per := float64(n.Collector.TotalOfferedFlits()) / float64(cycles) / float64(len(n.Endpoints))
+	return per / n.ChannelRate()
+}
+
+// TotalStashUsed sums committed stash occupancy over all switches.
+func (n *Network) TotalStashUsed() int {
+	total := 0
+	for _, s := range n.Switches {
+		total += s.StashUsed()
+	}
+	return total
+}
+
+// TotalQueuedFlits sums endpoint injection backlogs.
+func (n *Network) TotalQueuedFlits() int64 {
+	var total int64
+	for _, ep := range n.Endpoints {
+		total += ep.QueuedFlits()
+	}
+	return total
+}
+
+// Counters sums the per-switch counters.
+func (n *Network) Counters() core.Counters {
+	var c core.Counters
+	for _, s := range n.Switches {
+		sc := s.Counters
+		c.FlitsSwitched += sc.FlitsSwitched
+		c.FlitsSent += sc.FlitsSent
+		c.StashStores += sc.StashStores
+		c.StashRetrieves += sc.StashRetrieves
+		c.ECNMarks += sc.ECNMarks
+		c.CongestedCycles += sc.CongestedCycles
+		c.StashFullStalls += sc.StashFullStalls
+		c.E2ETracked += sc.E2ETracked
+		c.E2EDeletes += sc.E2EDeletes
+		c.E2ERetransmits += sc.E2ERetransmits
+		c.SidebandMsgs += sc.SidebandMsgs
+		c.CongStashed += sc.CongStashed
+		c.CongStashedVict += sc.CongStashedVict
+	}
+	return c
+}
+
+// Describe returns a one-line summary of the configuration.
+func (n *Network) Describe() string {
+	d := n.Cfg.Topo
+	return fmt.Sprintf("dragonfly p=%d a=%d h=%d (%d endpoints, %d switches, radix %d), mode=%s stash=%.0f%%",
+		d.P, d.A, d.H, d.NumEndpoints(), d.NumSwitches(), d.Radix(),
+		n.Cfg.Mode, n.Cfg.StashCapFrac*100)
+}
+
+// SanityCheck verifies cross-component invariants after a run; tests call
+// it to catch flow-control leaks. It returns an error when an invariant is
+// violated.
+func (n *Network) SanityCheck() error {
+	cls := proto.NumClasses
+	_ = cls
+	for _, s := range n.Switches {
+		if used := s.StashUsed(); used < 0 || used > s.StashCapTotal() {
+			return fmt.Errorf("switch %d stash occupancy %d outside [0,%d]", s.ID, used, s.StashCapTotal())
+		}
+	}
+	return nil
+}

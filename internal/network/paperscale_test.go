@@ -1,0 +1,54 @@
+package network
+
+import (
+	"testing"
+
+	"stashsim/internal/core"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/traffic"
+)
+
+// TestPaperScaleConstruction builds the full 3080-endpoint configuration
+// of Section V and runs it briefly: the wiring invariants (3080 endpoints,
+// 616 switches, 237.5 KB stash per switch) and basic traffic flow must
+// hold at full scale, not just on the scaled presets.
+func TestPaperScaleConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale network")
+	}
+	cfg := core.PaperConfig()
+	cfg.Mode = core.StashE2E
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Endpoints) != 3080 || len(n.Switches) != 616 {
+		t.Fatalf("%d endpoints / %d switches", len(n.Endpoints), len(n.Switches))
+	}
+	for _, s := range n.Switches {
+		if s.StashCapTotal() != 23750 {
+			t.Fatalf("switch %d stash capacity %d, want 23750 flits (237.5KB)",
+				s.ID, s.StashCapTotal())
+		}
+	}
+	rng := sim.NewRNG(1)
+	rate := n.ChannelRate()
+	for _, ep := range n.Endpoints {
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			0.3, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+	}
+	// 4000 cycles ≈ 3 µs: enough for global-link round trips and first
+	// deliveries.
+	n.Run(4000)
+	if n.Collector.DeliveredPkts[proto.ClassDefault] == 0 {
+		t.Fatal("no deliveries at paper scale")
+	}
+	c := n.Counters()
+	if c.E2ETracked == 0 || c.StashStores == 0 {
+		t.Fatal("stashing inactive at paper scale")
+	}
+	if err := n.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package proto defines the wire-level data types of the simulated network:
+// flits, packet kinds, virtual-channel constants, and credit messages.
+//
+// Flits are plain value structs. Every flit of a packet carries the full
+// packet metadata, so the simulator never allocates per-packet state on the
+// hot path; buffers are rings of Flit values. Routing state (adaptive-path
+// phase, Valiant intermediate group) lives in the head flit and is copied to
+// body flits when the packet is segmented; only the head flit's copy is ever
+// consulted.
+package proto
+
+// Architectural constants from the paper's Section V configuration.
+const (
+	// FlitBytes is the flit size in bytes (10 B at 10 GB/s and 1 GHz).
+	FlitBytes = 10
+	// MaxPacketFlits is the maximum data packet size in flits.
+	MaxPacketFlits = 24
+	// NumNetVCs is the number of network virtual channels used by the
+	// PAR routing algorithm for deadlock avoidance.
+	NumNetVCs = 6
+	// VCStore is the internal storage ("S") virtual channel added by the
+	// stashing architecture. It is not visible outside a switch.
+	VCStore = NumNetVCs
+	// VCRetrieve is the internal retrieval ("R") virtual channel.
+	VCRetrieve = NumNetVCs + 1
+	// NumVCs is the total number of VC indexes in switch-internal
+	// structures (network VCs plus S and R).
+	NumVCs = NumNetVCs + 2
+)
+
+// Kind discriminates packet types.
+type Kind uint8
+
+const (
+	// Data is a normal data packet (1..MaxPacketFlits flits).
+	Data Kind = iota
+	// ACK is a single-flit, hardware-generated end-to-end acknowledgment.
+	// Its PktID field names the data packet being acknowledged.
+	ACK
+)
+
+// Flags is a bitset of per-flit attributes.
+type Flags uint8
+
+const (
+	// FlagHead marks the first flit of a packet.
+	FlagHead Flags = 1 << iota
+	// FlagTail marks the last flit of a packet. A single-flit packet has
+	// both FlagHead and FlagTail set.
+	FlagTail
+	// FlagECN is the explicit congestion notification mark, set by
+	// congested switch input ports and copied into the ACK by the
+	// destination endpoint.
+	FlagECN
+	// FlagNack marks an ACK as negative: the data packet arrived
+	// corrupted (used by the error-injection extension) and must be
+	// retransmitted from its stashed copy.
+	FlagNack
+	// FlagNonMinimal marks a packet routed over a Valiant path.
+	FlagNonMinimal
+	// FlagShared records that this flit occupies the downstream DAMQ's
+	// shared pool rather than its per-VC reserved quota; the returned
+	// credit must replenish the matching pool.
+	FlagShared
+	// FlagStashCopy marks the stash duplicate of a packet created by the
+	// end-to-end reliability mechanism. Stash copies terminate at a
+	// stash buffer and are never forwarded off-switch.
+	FlagStashCopy
+)
+
+// Class labels traffic for statistics; it does not affect switching.
+type Class uint8
+
+const (
+	// ClassDefault is plain synthetic traffic.
+	ClassDefault Class = iota
+	// ClassVictim is the measured traffic class in congestion studies.
+	ClassVictim
+	// ClassAggressor is the congestion-forming class.
+	ClassAggressor
+	// ClassTrace is trace-replay traffic.
+	ClassTrace
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+// RoutePhase tracks a packet's progress along its dragonfly path.
+type RoutePhase uint8
+
+const (
+	// PhaseInject: the packet has not yet left its first-hop switch; the
+	// minimal-vs-Valiant decision may still be (re)made progressively.
+	PhaseInject RoutePhase = iota
+	// PhaseToMid: committed to a Valiant path, heading to the
+	// intermediate group.
+	PhaseToMid
+	// PhaseMinimal: heading to the destination group minimally.
+	PhaseMinimal
+)
+
+// Flit is the unit of switching and flow control. It is a value type;
+// buffers copy flits rather than sharing pointers.
+type Flit struct {
+	Src, Dst int32 // endpoint ids
+	MsgID    uint32
+	PktID    uint64 // globally unique: src<<32 | per-source sequence
+	Birth    int64  // injection cycle of the packet's head flit
+
+	Seq       uint8 // flit index within the packet
+	Size      uint8 // packet size in flits
+	VC        uint8 // VC occupied on the current channel / buffer
+	RestoreVC uint8 // original VC of a stash-retrieved packet
+
+	// Switch-internal routing state, valid between the input buffer and
+	// the output buffer of one switch traversal.
+	Out     uint8 // output port the flit is heading to inside the switch
+	OrigOut uint8 // intended output port of a congestion-stashed packet
+
+	Kind  Kind
+	Flags Flags
+	Class Class
+
+	Phase    RoutePhase
+	Hops     uint8 // switch-to-switch channels traversed so far
+	MidGroup int16 // Valiant intermediate group; -1 when minimal
+}
+
+// Head reports whether f is a head flit.
+func (f *Flit) Head() bool { return f.Flags&FlagHead != 0 }
+
+// Tail reports whether f is a tail flit.
+func (f *Flit) Tail() bool { return f.Flags&FlagTail != 0 }
+
+// MakePktID builds a globally unique packet id from a source endpoint and a
+// per-source monotone sequence number.
+func MakePktID(src int32, seq uint32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(seq)
+}
+
+// PktIDSrc extracts the source endpoint from a packet id.
+func PktIDSrc(id uint64) int32 { return int32(uint32(id >> 32)) }
+
+// Credit is a flow-control credit returned upstream when a flit leaves an
+// input buffer. Shared indicates which DAMQ pool the freed slot belongs to.
+type Credit struct {
+	VC     uint8
+	Shared bool
+}
+
+// Segment splits a message of the given size in flits into packet sizes of
+// at most MaxPacketFlits, returned as a slice of per-packet flit counts.
+// Messages are at least one flit; Segment panics on non-positive sizes to
+// catch generator bugs early.
+func Segment(flits int) []int {
+	if flits <= 0 {
+		panic("proto: message with non-positive flit count")
+	}
+	n := (flits + MaxPacketFlits - 1) / MaxPacketFlits
+	out := make([]int, 0, n)
+	for flits > 0 {
+		s := flits
+		if s > MaxPacketFlits {
+			s = MaxPacketFlits
+		}
+		out = append(out, s)
+		flits -= s
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentSinglePacket(t *testing.T) {
+	for flits := 1; flits <= MaxPacketFlits; flits++ {
+		got := Segment(flits)
+		if len(got) != 1 || got[0] != flits {
+			t.Fatalf("Segment(%d) = %v", flits, got)
+		}
+	}
+}
+
+func TestSegmentMultiPacket(t *testing.T) {
+	got := Segment(50)
+	want := []int{24, 24, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Segment(50) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Segment(50) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegmentConservesFlits(t *testing.T) {
+	if err := quick.Check(func(raw uint16) bool {
+		flits := int(raw)%5000 + 1
+		total := 0
+		for _, s := range Segment(flits) {
+			if s < 1 || s > MaxPacketFlits {
+				return false
+			}
+			total += s
+		}
+		return total == flits
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Segment(0)
+}
+
+func TestPktIDRoundTrip(t *testing.T) {
+	if err := quick.Check(func(src int32, seq uint32) bool {
+		if src < 0 {
+			src = -src
+		}
+		id := MakePktID(src, seq)
+		return PktIDSrc(id) == src && uint32(id) == seq
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPktIDUniqueAcrossSources(t *testing.T) {
+	a := MakePktID(1, 5)
+	b := MakePktID(2, 5)
+	if a == b {
+		t.Fatal("packet ids collide across sources")
+	}
+}
+
+func TestFlitFlags(t *testing.T) {
+	f := Flit{Flags: FlagHead}
+	if !f.Head() || f.Tail() {
+		t.Fatal("head flag misread")
+	}
+	f.Flags |= FlagTail
+	if !f.Tail() {
+		t.Fatal("tail flag misread")
+	}
+	f.Flags &^= FlagHead
+	if f.Head() {
+		t.Fatal("cleared head still set")
+	}
+}
+
+func TestVCConstants(t *testing.T) {
+	if VCStore != NumNetVCs || VCRetrieve != NumNetVCs+1 || NumVCs != NumNetVCs+2 {
+		t.Fatal("VC constant arithmetic broken")
+	}
+	if NumNetVCs != 6 {
+		t.Fatalf("paper requires 6 network VCs, got %d", NumNetVCs)
+	}
+	if MaxPacketFlits != 24 || FlitBytes != 10 {
+		t.Fatal("paper packet/flit sizing changed")
+	}
+}

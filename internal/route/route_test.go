@@ -1,0 +1,285 @@
+package route
+
+import (
+	"testing"
+
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+)
+
+// flatOracle reports constant queue depths.
+type flatOracle int
+
+func (f flatOracle) OutputQueue(port int) int { return int(f) }
+
+// mapOracle reports per-port depths.
+type mapOracle map[int]int
+
+func (m mapOracle) OutputQueue(port int) int { return m[port] }
+
+func newRouter(d topo.Dragonfly, adaptive bool) *Router {
+	p := DefaultParams()
+	p.Adaptive = adaptive
+	return New(d, p, sim.NewRNG(1))
+}
+
+func headFlit(src, dst int32) *proto.Flit {
+	return &proto.Flit{
+		Src: src, Dst: dst,
+		Size: 1, Flags: proto.FlagHead | proto.FlagTail,
+		Phase: proto.PhaseInject, MidGroup: -1,
+	}
+}
+
+// walk routes a flit hop by hop from its source switch to delivery,
+// returning the path of (switch, port) pairs. It fails the test if the
+// path exceeds the worst-case hop count.
+func walk(t *testing.T, r *Router, f *proto.Flit, oracle Oracle) []int {
+	t.Helper()
+	d := r.D
+	sw, _ := d.EndpointSwitch(int(f.Src))
+	var swPath []int
+	for hop := 0; hop < 10; hop++ {
+		swPath = append(swPath, sw)
+		dec := r.Route(f, sw, oracle)
+		if dec.Eject {
+			dstSw, dstPort := d.EndpointSwitch(int(f.Dst))
+			if sw != dstSw || dec.Out != dstPort {
+				t.Fatalf("ejected at wrong place: sw %d port %d, want sw %d port %d",
+					sw, dec.Out, dstSw, dstPort)
+			}
+			return swPath
+		}
+		if int(dec.NextVC) != int(f.Hops) && f.Hops < proto.NumNetVCs {
+			t.Fatalf("hop %d: VC %d != hops %d", hop, dec.NextVC, f.Hops)
+		}
+		f.Phase = dec.Phase
+		f.MidGroup = dec.MidGroup
+		if dec.NonMinimal {
+			f.Flags |= proto.FlagNonMinimal
+		}
+		nsw, _ := d.Neighbor(sw, dec.Out)
+		f.Hops++
+		sw = nsw
+	}
+	t.Fatalf("path from %d to %d did not terminate: %v", f.Src, f.Dst, swPath)
+	return nil
+}
+
+func TestMinimalPathsReachAllPairs(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, false)
+	n := d.NumEndpoints()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			f := headFlit(int32(src), int32(dst))
+			path := walk(t, r, f, flatOracle(0))
+			// Minimal dragonfly paths visit at most 4 switches
+			// (src, gw, dst-gw, dst).
+			if len(path) > 4 {
+				t.Fatalf("%d->%d minimal path too long: %v", src, dst, path)
+			}
+		}
+	}
+}
+
+func TestAdaptivePathsReachAllPairsUnderCongestion(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	// A congested oracle forces frequent Valiant diverts.
+	oracle := mapOracle{}
+	for p := 0; p < d.Radix(); p++ {
+		oracle[p] = (p * 37) % 500
+	}
+	n := d.NumEndpoints()
+	for src := 0; src < n; src += 3 {
+		for dst := 0; dst < n; dst += 3 {
+			if src == dst {
+				continue
+			}
+			f := headFlit(int32(src), int32(dst))
+			path := walk(t, r, f, oracle)
+			if len(path) > 7 {
+				t.Fatalf("%d->%d adaptive path too long: %v", src, dst, path)
+			}
+		}
+	}
+}
+
+func TestVCNeverExceedsLimit(t *testing.T) {
+	d := topo.Dragonfly{P: 3, A: 6, H: 3}
+	r := newRouter(d, true)
+	oracle := mapOracle{}
+	for p := 0; p < d.Radix(); p++ {
+		oracle[p] = (p * 91) % 1000
+	}
+	n := d.NumEndpoints()
+	for src := 0; src < n; src += 7 {
+		for dst := 0; dst < n; dst += 5 {
+			if src == dst {
+				continue
+			}
+			f := headFlit(int32(src), int32(dst))
+			sw, _ := d.EndpointSwitch(src)
+			for hop := 0; hop < 10; hop++ {
+				dec := r.Route(f, sw, oracle)
+				if dec.Eject {
+					break
+				}
+				if dec.NextVC >= proto.NumNetVCs {
+					t.Fatalf("VC %d exceeds the %d available", dec.NextVC, proto.NumNetVCs)
+				}
+				f.Phase = dec.Phase
+				f.MidGroup = dec.MidGroup
+				sw, _ = d.Neighbor(sw, dec.Out)
+				f.Hops++
+			}
+		}
+	}
+}
+
+func TestUGALPrefersMinimalWhenUncongested(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	// Zero queues everywhere: never divert.
+	for trial := 0; trial < 200; trial++ {
+		f := headFlit(0, int32(d.NumEndpoints()-1))
+		dec := r.Route(f, 0, flatOracle(0))
+		if dec.NonMinimal {
+			t.Fatal("diverted with empty queues")
+		}
+	}
+}
+
+func TestUGALDivertsUnderCongestion(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	dst := int32(d.NumEndpoints() - 1)
+	f := headFlit(0, dst)
+	// Find the minimal first-hop port, then congest it heavily.
+	min := r.Route(f, 0, flatOracle(0))
+	oracle := mapOracle{min.Out: 10000}
+	diverted := 0
+	for trial := 0; trial < 100; trial++ {
+		f := headFlit(0, dst)
+		dec := r.Route(f, 0, oracle)
+		if dec.NonMinimal {
+			diverted++
+			if dec.MidGroup < 0 {
+				t.Fatal("divert without intermediate group")
+			}
+		}
+	}
+	if diverted == 0 {
+		t.Fatal("never diverted despite 10000-flit minimal queue")
+	}
+}
+
+func TestProgressiveReevaluationAtGateway(t *testing.T) {
+	// A packet routed minimally from a non-gateway switch keeps
+	// PhaseInject across the local hop, so the gateway can still divert.
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	// Choose src/dst so the minimal route needs a local hop first:
+	// scan sources until the first decision is a local port.
+	found := false
+	for src := 0; src < d.NumEndpoints() && !found; src++ {
+		for dst := 0; dst < d.NumEndpoints(); dst++ {
+			if d.Group(src/d.P) == d.Group(dst/d.P) || src == dst {
+				continue
+			}
+			f := headFlit(int32(src), int32(dst))
+			sw, _ := d.EndpointSwitch(src)
+			dec := r.Route(f, sw, flatOracle(0))
+			if d.PortClass(dec.Out) == topo.Local && !dec.NonMinimal {
+				if dec.Phase != proto.PhaseInject {
+					t.Fatal("local minimal first hop must stay progressive")
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no local-first minimal route found to exercise progressiveness")
+	}
+}
+
+func TestValiantCommitmentIsFinal(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	dst := int32(d.NumEndpoints() - 1)
+	f := headFlit(0, dst)
+	min := r.Route(f, 0, flatOracle(0))
+	oracle := mapOracle{min.Out: 10000}
+	// Force a divert.
+	var dec Decision
+	for {
+		f = headFlit(0, dst)
+		dec = r.Route(f, 0, oracle)
+		if dec.NonMinimal {
+			break
+		}
+	}
+	f.Phase = dec.Phase
+	f.MidGroup = dec.MidGroup
+	if f.Phase != proto.PhaseToMid {
+		t.Fatalf("diverted packet in phase %v", f.Phase)
+	}
+	// At the next switch the packet must keep heading to the mid group
+	// even with empty queues.
+	nsw, _ := d.Neighbor(0, dec.Out)
+	f.Hops++
+	dec2 := r.Route(f, nsw, flatOracle(0))
+	if dec2.Phase == proto.PhaseInject {
+		t.Fatal("Valiant commitment reopened")
+	}
+}
+
+func TestRandomMidGroupExcludesSrcAndDst(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	for trial := 0; trial < 2000; trial++ {
+		g, dstG := 3, 7
+		m := r.randomMidGroup(g, dstG)
+		if m == g || m == dstG || m < 0 || m >= d.Groups() {
+			t.Fatalf("mid group %d invalid for src %d dst %d", m, g, dstG)
+		}
+	}
+}
+
+func TestRandomMidGroupCoversAll(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	seen := map[int]bool{}
+	for trial := 0; trial < 5000; trial++ {
+		seen[r.randomMidGroup(0, 1)] = true
+	}
+	if len(seen) != d.Groups()-2 {
+		t.Fatalf("mid groups seen %d, want %d", len(seen), d.Groups()-2)
+	}
+}
+
+func TestIntraGroupRoutesAreLocal(t *testing.T) {
+	d := topo.Dragonfly{P: 2, A: 4, H: 2}
+	r := newRouter(d, true)
+	// src and dst in the same group, different switches.
+	src, dst := 0, d.P*2 // switch 0 and switch 2 of group 0
+	f := headFlit(int32(src), int32(dst))
+	dec := r.Route(f, 0, flatOracle(1000))
+	if d.PortClass(dec.Out) != topo.Local {
+		t.Fatalf("intra-group route used %v port", d.PortClass(dec.Out))
+	}
+	if dec.NonMinimal {
+		t.Fatal("intra-group route diverted")
+	}
+	// One local hop must reach the destination switch.
+	nsw, _ := d.Neighbor(0, dec.Out)
+	if nsw != 2 {
+		t.Fatalf("local hop landed at switch %d, want 2", nsw)
+	}
+}

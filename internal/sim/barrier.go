@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a reusable spinning barrier for the parallel cycle executor.
+// It is designed for a small, fixed number of long-lived worker goroutines
+// that synchronize once per simulated cycle; spinning with Gosched keeps the
+// per-cycle overhead far below that of a channel or condition variable.
+type Barrier struct {
+	n       int32
+	arrived atomic.Int32
+	phase   atomic.Uint32
+}
+
+// NewBarrier returns a barrier for n participants. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier with non-positive participant count")
+	}
+	return &Barrier{n: int32(n)}
+}
+
+// Wait blocks until all n participants have called Wait for the current
+// phase, then releases them all and advances to the next phase.
+func (b *Barrier) Wait() {
+	phase := b.phase.Load()
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		b.phase.Add(1)
+		return
+	}
+	for b.phase.Load() == phase {
+		runtime.Gosched()
+	}
+}

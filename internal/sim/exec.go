@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Stepper is a simulation component advanced once per cycle. Components may
+// communicate only through latency>=1 channels, which gives the parallel
+// executor one cycle of lookahead: values written at cycle t are never read
+// before cycle t+1, so disjoint partitions can step concurrently.
+type Stepper interface {
+	Step(now Tick)
+}
+
+// Executor drives a set of components through simulated cycles, either
+// serially (deterministic, lowest overhead on a single core) or with a fixed
+// worker pool partitioned over the components.
+type Executor struct {
+	parts   [][]Stepper
+	barrier *Barrier
+	workers int
+
+	// serial fast path
+	all []Stepper
+
+	mu      sync.Mutex
+	started bool
+	cmd     chan execCmd
+	done    chan struct{}
+}
+
+type execCmd struct {
+	from, to Tick
+}
+
+// NewExecutor builds an executor over the given components. workers <= 1
+// selects the serial path; otherwise the components are partitioned
+// round-robin across min(workers, GOMAXPROCS) long-lived goroutines.
+func NewExecutor(components []Stepper, workers int) *Executor {
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(components) {
+		workers = len(components)
+	}
+	e := &Executor{workers: workers, all: components}
+	if workers > 1 {
+		e.parts = make([][]Stepper, workers)
+		for i, c := range components {
+			w := i % workers
+			e.parts[w] = append(e.parts[w], c)
+		}
+		e.barrier = NewBarrier(workers + 1)
+		e.cmd = make(chan execCmd)
+		e.done = make(chan struct{})
+	}
+	return e
+}
+
+// Run advances all components from cycle `from` (inclusive) to `to`
+// (exclusive). Within each cycle every component steps exactly once.
+func (e *Executor) Run(from, to Tick) {
+	if e.workers <= 1 {
+		for now := from; now < to; now++ {
+			for _, c := range e.all {
+				c.Step(now)
+			}
+		}
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started {
+		e.started = true
+		for w := 0; w < e.workers; w++ {
+			go e.worker(e.parts[w])
+		}
+	}
+	for w := 0; w < e.workers; w++ {
+		e.cmd <- execCmd{from, to}
+	}
+	for now := from; now < to; now++ {
+		e.barrier.Wait()
+	}
+	for w := 0; w < e.workers; w++ {
+		<-e.done
+	}
+}
+
+func (e *Executor) worker(mine []Stepper) {
+	for cmd := range e.cmd {
+		for now := cmd.from; now < cmd.to; now++ {
+			for _, c := range mine {
+				c.Step(now)
+			}
+			e.barrier.Wait()
+		}
+		e.done <- struct{}{}
+	}
+}
+
+// Close shuts down the worker goroutines. The executor must not be used
+// after Close.
+func (e *Executor) Close() {
+	if e.cmd != nil {
+		e.mu.Lock()
+		if e.started {
+			close(e.cmd)
+			e.started = false
+		}
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSeparation(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	c1 := parent.Derive(1)
+	c2 := parent.Derive(2)
+	c1again := parent.Derive(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Derive is not deterministic")
+	}
+	if c1.state == c2.state {
+		t.Fatal("distinct streams share state")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw)%100 + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, samples = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / samples
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("bucket %d has fraction %.3f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	r := NewRNG(9)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < p-0.01 || got > p+0.01 {
+		t.Fatalf("Bernoulli(%.1f) frequency %.3f", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const workers, rounds = 4, 100
+	b := NewBarrier(workers)
+	var counter atomic.Int64
+	done := make(chan bool)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for r := 0; r < rounds; r++ {
+				counter.Add(1)
+				b.Wait()
+				// After the barrier, all workers must have counted
+				// this round.
+				if c := counter.Load(); c < int64((r+1)*workers) {
+					t.Errorf("round %d: count %d", r, c)
+				}
+				b.Wait()
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+type countStepper struct {
+	steps []Tick
+}
+
+func (c *countStepper) Step(now Tick) { c.steps = append(c.steps, now) }
+
+func TestExecutorSerial(t *testing.T) {
+	cs := []*countStepper{{}, {}, {}}
+	var steppers []Stepper
+	for _, c := range cs {
+		steppers = append(steppers, c)
+	}
+	e := NewExecutor(steppers, 1)
+	e.Run(0, 10)
+	e.Run(10, 15)
+	for _, c := range cs {
+		if len(c.steps) != 15 {
+			t.Fatalf("component stepped %d times, want 15", len(c.steps))
+		}
+		for i, s := range c.steps {
+			if s != Tick(i) {
+				t.Fatalf("step %d saw tick %d", i, s)
+			}
+		}
+	}
+}
+
+type atomicStepper struct {
+	cur   *atomic.Int64
+	fails atomic.Int64
+}
+
+func (a *atomicStepper) Step(now Tick) {
+	if a.cur.Load() != int64(now) {
+		a.fails.Add(1)
+	}
+}
+
+func TestExecutorParallelCycleBoundary(t *testing.T) {
+	// Every component must observe the same cycle value; the shared
+	// atomic is advanced by a dedicated clock component stepped first in
+	// partition 0... Instead, verify all components see `now` equal to
+	// the loop cycle by having them check a shared value set serially
+	// before Run of each single-cycle window.
+	var cur atomic.Int64
+	comps := make([]Stepper, 8)
+	ss := make([]*atomicStepper, 8)
+	for i := range comps {
+		ss[i] = &atomicStepper{cur: &cur}
+		comps[i] = ss[i]
+	}
+	e := NewExecutor(comps, 4)
+	defer e.Close()
+	for c := Tick(0); c < 50; c++ {
+		cur.Store(int64(c))
+		e.Run(c, c+1)
+	}
+	for i, s := range ss {
+		if s.fails.Load() != 0 {
+			t.Fatalf("component %d saw %d wrong cycles", i, s.fails.Load())
+		}
+	}
+}

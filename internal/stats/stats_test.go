@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, v := range []float64{3, 1, 2} {
+		a.Add(v)
+	}
+	if a.N != 3 || a.Min != 1 || a.Max != 3 || a.Mean() != 2 {
+		t.Fatalf("acc %+v mean %v", a, a.Mean())
+	}
+}
+
+func TestAccMerge(t *testing.T) {
+	var a, b Acc
+	a.Add(1)
+	a.Add(5)
+	b.Add(3)
+	b.Add(7)
+	a.Merge(b)
+	if a.N != 4 || a.Min != 1 || a.Max != 7 || a.Mean() != 4 {
+		t.Fatalf("merged %+v", a)
+	}
+	var empty Acc
+	empty.Merge(a)
+	if empty != a {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestAccEmptyMean(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 37 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucket decreased at %d", v)
+		}
+		prev = b
+	}
+}
+
+func TestBucketLowInverts(t *testing.T) {
+	if err := quick.Check(func(raw uint32) bool {
+		v := int64(raw)
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		// The bucket's low bound maps back to the same bucket and does
+		// not exceed the value.
+		return bucketOf(lo) == b && lo <= v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistExactForSmallValues(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 32; v++ {
+		h.Add(v)
+	}
+	for p := 1; p <= 100; p++ {
+		got := h.Percentile(float64(p))
+		want := int64(math.Ceil(float64(p)/100*32)) - 1
+		if got != want {
+			t.Fatalf("p%d = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestHistPercentileAccuracy(t *testing.T) {
+	var h Hist
+	var sample []float64
+	rng := uint64(99)
+	for i := 0; i < 50000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int64(rng >> 44) // up to ~1M
+		h.Add(v)
+		sample = append(sample, float64(v))
+	}
+	exact := Quantiles(sample, 0.5, 0.9, 0.99)
+	for i, p := range []float64{50, 90, 99} {
+		got := float64(h.Percentile(p))
+		if math.Abs(got-exact[i]) > 0.05*exact[i]+1 {
+			t.Fatalf("p%.0f = %.0f, exact %.0f (err > 5%%)", p, got, exact[i])
+		}
+	}
+}
+
+func TestHistMeanExact(t *testing.T) {
+	var h Hist
+	sum := 0.0
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i * 7)
+		sum += float64(i * 7)
+	}
+	if got := h.Mean(); math.Abs(got-sum/1000) > 1e-9 {
+		t.Fatalf("mean %v want %v", got, sum/1000)
+	}
+	if h.Min() != 7 || h.Max() != 7000 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Add(-5)
+	if h.Percentile(100) != 0 {
+		t.Fatal("negative not clamped to zero")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := int64(0); i < 1000; i++ {
+		a.Add(i)
+		b.Add(i + 1000)
+	}
+	a.Merge(&b)
+	if a.N() != 2000 {
+		t.Fatal("merge lost counts")
+	}
+	if p := a.Percentile(50); p < 900 || p > 1100 {
+		t.Fatalf("merged median %d", p)
+	}
+}
+
+func TestInverseCDF(t *testing.T) {
+	var h Hist
+	for i := 0; i < 90; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1000)
+	}
+	pts := h.InverseCDF()
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if math.Abs(pts[0].Fraction-0.10) > 1e-9 {
+		t.Fatalf("fraction above first bucket %v, want 0.10", pts[0].Fraction)
+	}
+	if pts[1].Fraction != 0 {
+		t.Fatalf("fraction above last bucket %v, want 0", pts[1].Fraction)
+	}
+	if h.InverseCDF()[0].Value > h.InverseCDF()[1].Value {
+		t.Fatal("inverse CDF not sorted by value")
+	}
+}
+
+func TestInverseCDFEmpty(t *testing.T) {
+	var h Hist
+	if h.InverseCDF() != nil {
+		t.Fatal("empty histogram returned points")
+	}
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Add(0, 1)
+	ts.Add(99, 3)
+	ts.Add(100, 10)
+	ts.Add(350, 7)
+	bins := ts.Bins()
+	if len(bins) != 4 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	if bins[0].Mean() != 2 || bins[1].Mean() != 10 || bins[2].N != 0 || bins[3].Mean() != 7 {
+		t.Fatalf("bins %+v", bins)
+	}
+	times, means := ts.Means()
+	if len(times) != 3 || times[2] != 300 || means[0] != 2 {
+		t.Fatalf("means %v %v", times, means)
+	}
+}
+
+func TestTimeSeriesNegativeIgnored(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(-5, 1)
+	if len(ts.Bins()) != 0 {
+		t.Fatal("negative time created a bin")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"A", "LongHeader"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("yyyy", "2")
+	s := tab.String()
+	if !strings.Contains(s, "LongHeader") || !strings.Contains(s, "yyyy") {
+		t.Fatalf("render: %q", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "A,LongHeader\n") || !strings.Contains(csv, "yyyy,2\n") {
+		t.Fatalf("csv: %q", csv)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	q := Quantiles([]float64{5, 1, 3, 2, 4}, 0.2, 0.5, 1.0)
+	if q[0] != 1 || q[1] != 3 || q[2] != 5 {
+		t.Fatalf("quantiles %v", q)
+	}
+}

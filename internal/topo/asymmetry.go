@@ -1,0 +1,60 @@
+package topo
+
+// This file implements the analytic model behind the paper's Table I:
+// how much of a symmetric switch's port buffering is idle when the switch
+// is deployed in an asymmetric topology.
+
+// AsymmetryRow is one row of Table I.
+type AsymmetryRow struct {
+	Class         LinkClass
+	MaxLengthM    float64 // maximum physical link length for this class
+	PortsPercent  float64 // share of switch ports with this class
+	Underutilized float64 // fraction of the port's buffering that is idle
+}
+
+// AsymmetryModel computes Table I for a dragonfly built from symmetric
+// switches whose port buffers are provisioned for links of maxLengthM
+// meters. Buffer demand is proportional to the link round-trip time, hence
+// to physical length; a port on a link of length L needs only L/maxLength
+// of its buffering.
+type AsymmetryModel struct {
+	Topology   Dragonfly
+	MaxLengthM float64 // provisioning length (100 m for Omni-Path-class)
+	// Per-class actual maximum link lengths in meters.
+	EndpointM, LocalM, GlobalM float64
+}
+
+// PaperAsymmetry returns the canonical configuration of Table I: a 20-port
+// switch (5 endpoint / 10 local / 5 global) provisioned for 100 m links,
+// with <1 m endpoint, <5 m intra-group and <100 m inter-group cables.
+func PaperAsymmetry() AsymmetryModel {
+	return AsymmetryModel{
+		Topology:   Dragonfly{P: 5, A: 11, H: 5},
+		MaxLengthM: 100,
+		EndpointM:  1,
+		LocalM:     5,
+		GlobalM:    100,
+	}
+}
+
+// Rows returns the three Table I rows.
+func (m AsymmetryModel) Rows() []AsymmetryRow {
+	d := m.Topology
+	radix := float64(d.Radix())
+	under := func(length float64) float64 { return 1 - length/m.MaxLengthM }
+	return []AsymmetryRow{
+		{Endpoint, m.EndpointM, float64(d.P) / radix, under(m.EndpointM)},
+		{Local, m.LocalM, float64(d.A-1) / radix, under(m.LocalM)},
+		{Global, m.GlobalM, float64(d.H) / radix, under(m.GlobalM)},
+	}
+}
+
+// TotalUnderutilized returns the port-share-weighted idle fraction of all
+// switch buffering (the paper's "approximately 72%").
+func (m AsymmetryModel) TotalUnderutilized() float64 {
+	var total float64
+	for _, r := range m.Rows() {
+		total += r.PortsPercent * r.Underutilized
+	}
+	return total
+}

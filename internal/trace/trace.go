@@ -1,0 +1,198 @@
+// Package trace implements the MPI-like trace model and the
+// dependency-driven replay engine used for the paper's Figure 6
+// experiments (application traces on SST/Macro). A trace is a list of
+// per-rank event sequences; the replay engine drives network endpoints,
+// advancing each rank through its events: sends enqueue messages
+// immediately, receives block until the matching message has fully
+// arrived. Computation time is not modeled, matching the paper's
+// methodology ("we did not model computation time in order to focus on the
+// communication aspects").
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// Send transmits a message to a peer rank. Non-blocking (eager).
+	Send EventKind = iota
+	// Recv blocks until the identified message has fully arrived.
+	Recv
+)
+
+// Event is one entry in a rank's event sequence. Every message is
+// identified by a globally unique MsgID assigned by the generator; the
+// matching Recv on the peer names the same MsgID, so no runtime matching
+// logic is needed.
+type Event struct {
+	Kind  EventKind
+	Peer  int32  // peer rank (send destination / expected source)
+	Bytes int    // message size in bytes (Send only)
+	MsgID uint32 // unique message id
+}
+
+// Trace is a complete application trace.
+type Trace struct {
+	Name  string
+	Ranks int
+	// Events holds each rank's ordered event sequence.
+	Events [][]Event
+}
+
+// Validate checks structural invariants: every Send has exactly one
+// matching Recv on the peer with the same MsgID, peers are in range, and
+// message ids are unique per direction.
+func (t *Trace) Validate() error {
+	if t.Ranks != len(t.Events) {
+		return fmt.Errorf("trace %s: %d ranks but %d event lists", t.Name, t.Ranks, len(t.Events))
+	}
+	type key = uint32
+	sends := make(map[key][2]int32) // msgID -> (src, dst)
+	recvs := make(map[key][2]int32) // msgID -> (dst, src)
+	for r, evs := range t.Events {
+		for _, ev := range evs {
+			if ev.Peer < 0 || int(ev.Peer) >= t.Ranks {
+				return fmt.Errorf("trace %s: rank %d event peer %d out of range", t.Name, r, ev.Peer)
+			}
+			if ev.Peer == int32(r) {
+				return fmt.Errorf("trace %s: rank %d self-message", t.Name, r)
+			}
+			switch ev.Kind {
+			case Send:
+				if ev.Bytes <= 0 {
+					return fmt.Errorf("trace %s: rank %d sends %d bytes", t.Name, r, ev.Bytes)
+				}
+				if _, dup := sends[ev.MsgID]; dup {
+					return fmt.Errorf("trace %s: duplicate send msg %d", t.Name, ev.MsgID)
+				}
+				sends[ev.MsgID] = [2]int32{int32(r), ev.Peer}
+			case Recv:
+				if _, dup := recvs[ev.MsgID]; dup {
+					return fmt.Errorf("trace %s: duplicate recv msg %d", t.Name, ev.MsgID)
+				}
+				recvs[ev.MsgID] = [2]int32{int32(r), ev.Peer}
+			}
+		}
+	}
+	if len(sends) != len(recvs) {
+		return fmt.Errorf("trace %s: %d sends but %d recvs", t.Name, len(sends), len(recvs))
+	}
+	for id, sd := range sends {
+		rd, ok := recvs[id]
+		if !ok {
+			return fmt.Errorf("trace %s: send msg %d has no recv", t.Name, id)
+		}
+		if rd[0] != sd[1] || rd[1] != sd[0] {
+			return fmt.Errorf("trace %s: msg %d endpoints mismatch", t.Name, id)
+		}
+	}
+	return nil
+}
+
+// TotalMessages returns the number of messages in the trace.
+func (t *Trace) TotalMessages() int {
+	n := 0
+	for _, evs := range t.Events {
+		for _, ev := range evs {
+			if ev.Kind == Send {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalBytes returns the total payload volume of the trace.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for _, evs := range t.Events {
+		for _, ev := range evs {
+			if ev.Kind == Send {
+				n += int64(ev.Bytes)
+			}
+		}
+	}
+	return n
+}
+
+// Write serializes the trace in a simple line-oriented text format:
+//
+//	trace <name> <ranks>
+//	r <rank>
+//	s <peer> <bytes> <msgid>
+//	v <peer> <msgid>
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "trace %s %d\n", t.Name, t.Ranks)
+	for r, evs := range t.Events {
+		fmt.Fprintf(bw, "r %d\n", r)
+		for _, ev := range evs {
+			switch ev.Kind {
+			case Send:
+				fmt.Fprintf(bw, "s %d %d %d\n", ev.Peer, ev.Bytes, ev.MsgID)
+			case Recv:
+				fmt.Fprintf(bw, "v %d %d\n", ev.Peer, ev.MsgID)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	cur := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "trace":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: malformed header %q", line)
+			}
+			t.Name = fields[1]
+			if _, err := fmt.Sscanf(fields[2], "%d", &t.Ranks); err != nil {
+				return nil, err
+			}
+			t.Events = make([][]Event, t.Ranks)
+		case "r":
+			if _, err := fmt.Sscanf(fields[1], "%d", &cur); err != nil {
+				return nil, err
+			}
+			if cur < 0 || cur >= t.Ranks {
+				return nil, fmt.Errorf("trace: rank %d out of range", cur)
+			}
+		case "s":
+			var peer, bytes int
+			var id uint32
+			if _, err := fmt.Sscanf(line, "s %d %d %d", &peer, &bytes, &id); err != nil {
+				return nil, err
+			}
+			t.Events[cur] = append(t.Events[cur], Event{Kind: Send, Peer: int32(peer), Bytes: bytes, MsgID: id})
+		case "v":
+			var peer int
+			var id uint32
+			if _, err := fmt.Sscanf(line, "v %d %d", &peer, &id); err != nil {
+				return nil, err
+			}
+			t.Events[cur] = append(t.Events[cur], Event{Kind: Recv, Peer: int32(peer), MsgID: id})
+		default:
+			return nil, fmt.Errorf("trace: unknown record %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMsgFlits(t *testing.T) {
+	cases := map[int]int{1: 1, 9: 1, 10: 1, 11: 2, 100: 10, 101: 11, 0: 1}
+	for bytes, want := range cases {
+		if got := MsgFlits(bytes); got != want {
+			t.Fatalf("MsgFlits(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"trace x\n",                         // bad header arity
+		"trace x 2\nr 5\n",                  // rank out of range
+		"trace x 2\nr 0\ns 1\n",             // bad send arity
+		"trace x 2\nr 0\nq 1 2\n",           // unknown record
+		"trace x 2\nr 0\ns 1 100 0\n",       // unmatched send
+		"trace x 2\nr 0\nv 1 0\nr 1\n",      // unmatched recv
+		"trace x 1\nr 0\ns 0 10 0\nv 0 0\n", // self-message
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+trace demo 2
+r 0
+s 1 100 0
+
+r 1
+# another
+v 0 0
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || tr.TotalMessages() != 1 || tr.TotalBytes() != 100 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestValidateCatchesCrossedEndpoints(t *testing.T) {
+	tr := &Trace{Name: "x", Ranks: 3, Events: [][]Event{
+		{{Kind: Send, Peer: 1, Bytes: 10, MsgID: 0}},
+		{},
+		{{Kind: Recv, Peer: 0, MsgID: 0}}, // recv on the wrong rank
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("accepted recv on wrong rank")
+	}
+}
+
+func TestValidateDuplicateMsgIDs(t *testing.T) {
+	tr := &Trace{Name: "x", Ranks: 2, Events: [][]Event{
+		{{Kind: Send, Peer: 1, Bytes: 10, MsgID: 0}, {Kind: Send, Peer: 1, Bytes: 10, MsgID: 0}},
+		{{Kind: Recv, Peer: 0, MsgID: 0}, {Kind: Recv, Peer: 0, MsgID: 0}},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("accepted duplicate message ids")
+	}
+}

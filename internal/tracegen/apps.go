@@ -1,0 +1,261 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+
+	"stashsim/internal/trace"
+)
+
+// Scale adjusts trace size: 1.0 reproduces the paper's rank counts
+// (Table II); smaller values shrink both the process grids and message
+// volumes proportionally so the same shapes run on scaled-down networks.
+type Scale struct {
+	// Ranks caps the rank count; generators pick the largest natural
+	// grid that fits. Zero means the paper's count.
+	Ranks int
+	// Bytes multiplies message sizes (1.0 = nominal).
+	Bytes float64
+	// Iters multiplies iteration counts (1.0 = nominal).
+	Iters float64
+}
+
+// DefaultScale reproduces the paper's Table II rank counts.
+func DefaultScale() Scale { return Scale{Bytes: 1, Iters: 1} }
+
+func (s Scale) iters(n int) int {
+	k := int(math.Round(float64(n) * s.Iters))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (s Scale) bytes(n int) int {
+	k := int(math.Round(float64(n) * s.Bytes))
+	if k < 10 {
+		k = 10
+	}
+	return k
+}
+
+// cube returns the largest edge e with e^3 <= limit.
+func cube(limit int) int {
+	e := int(math.Cbrt(float64(limit)) + 1e-9)
+	for (e+1)*(e+1)*(e+1) <= limit {
+		e++
+	}
+	for e > 1 && e*e*e > limit {
+		e--
+	}
+	return e
+}
+
+// square returns the largest edge e with e^2 <= limit.
+func square(limit int) int {
+	e := int(math.Sqrt(float64(limit)) + 1e-9)
+	for (e+1)*(e+1) <= limit {
+		e++
+	}
+	for e > 1 && e*e > limit {
+		e--
+	}
+	return e
+}
+
+// AppInfo describes one generated application (Table II).
+type AppInfo struct {
+	Name        string
+	Description string
+	PaperRanks  int
+	Generate    func(Scale) *trace.Trace
+}
+
+// Apps lists the six DesignForward applications in the paper's order.
+func Apps() []AppInfo {
+	return []AppInfo{
+		{"BIGFFT", "3D FFT with 2D domain decomposition pattern, medium problem size", 1024, BigFFT},
+		{"AMG", "Algebraic multigrid solver for unstructured mesh physics packages", 1728, AMG},
+		{"MultiGrid", "Geometric multigrid V-Cycle from production elliptic solver (BoxLib)", 1000, MultiGrid},
+		{"FillBoundary", "Halo update from production PDE solver code (BoxLib)", 1000, FillBoundary},
+		{"AMR", "Full adaptive mesh refinement V-Cycle from production cosmology code (BoxLib/Castro)", 1728, AMR},
+		{"MiniFE", "Finite element solver mini-application", 1152, MiniFE},
+	}
+}
+
+// AppByName returns the generator for a Table II application.
+func AppByName(name string) (AppInfo, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return AppInfo{}, fmt.Errorf("tracegen: unknown application %q", name)
+}
+
+// BigFFT models a 3-D FFT with 2-D ("pencil") domain decomposition: two
+// transpose phases per iteration, each an all-to-all within process-grid
+// rows respectively columns, with bandwidth-heavy messages. This is one of
+// the paper's two bandwidth-bound traces.
+func BigFFT(s Scale) *trace.Trace {
+	limit := 1024
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	e := square(limit)
+	b := NewBuilder("BIGFFT", e*e)
+	perPair := s.bytes(16384 / e * 8) // transpose volume split across the row
+	iters := s.iters(2)
+	for it := 0; it < iters; it++ {
+		// Row transposes.
+		for r := 0; r < e; r++ {
+			row := make([]int32, e)
+			for c := 0; c < e; c++ {
+				row[c] = int32(r*e + c)
+			}
+			b.AllToAll(row, perPair)
+		}
+		// Column transposes.
+		for c := 0; c < e; c++ {
+			col := make([]int32, e)
+			for r := 0; r < e; r++ {
+				col[r] = int32(r*e + c)
+			}
+			b.AllToAll(col, perPair)
+		}
+	}
+	return b.Trace()
+}
+
+// AMG models an algebraic multigrid solve: V-cycles whose halo exchanges
+// thin out (stride doubling) toward coarse levels, with a small allreduce
+// per level transition and per iteration — latency-dominated.
+func AMG(s Scale) *trace.Trace {
+	limit := 1728
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	e := cube(limit)
+	g := Grid3D{NX: e, NY: e, NZ: e}
+	b := NewBuilder("AMG", g.Size())
+	all := g.Group(1)
+	iters := s.iters(3)
+	for it := 0; it < iters; it++ {
+		for stride := 1; stride < e; stride *= 2 {
+			b.Halo(g, stride, s.bytes(2048/stride))
+			b.AllReduce(all, 8)
+		}
+		for stride := e / 2; stride >= 1; stride /= 2 {
+			b.Halo(g, stride, s.bytes(2048/stride))
+		}
+		b.AllReduce(all, 8)
+	}
+	return b.Trace()
+}
+
+// MultiGrid models a geometric multigrid V-cycle: fine-level halos are
+// large, coarse-level halos small, one allreduce per cycle for the
+// convergence check.
+func MultiGrid(s Scale) *trace.Trace {
+	limit := 1000
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	e := cube(limit)
+	g := Grid3D{NX: e, NY: e, NZ: e}
+	b := NewBuilder("MultiGrid", g.Size())
+	iters := s.iters(3)
+	for it := 0; it < iters; it++ {
+		for stride := 1; stride < e; stride *= 2 {
+			b.Halo(g, stride, s.bytes(4096/(stride*stride)))
+		}
+		for stride := e / 2; stride >= 1; stride /= 2 {
+			b.Halo(g, stride, s.bytes(4096/(stride*stride)))
+		}
+		b.AllReduce(g.Group(1), 8)
+	}
+	return b.Trace()
+}
+
+// FillBoundary models BoxLib's single-level halo update: every rank
+// exchanges large face messages with its six neighbors, repeatedly. With
+// large faces and no intervening computation this is the paper's second
+// bandwidth-bound trace.
+func FillBoundary(s Scale) *trace.Trace {
+	limit := 1000
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	e := cube(limit)
+	g := Grid3D{NX: e, NY: e, NZ: e}
+	b := NewBuilder("FillBoundary", g.Size())
+	iters := s.iters(6)
+	for it := 0; it < iters; it++ {
+		b.Halo(g, 1, s.bytes(32768))
+	}
+	return b.Trace()
+}
+
+// AMR models an adaptive mesh refinement V-cycle: multigrid-style halos
+// plus periodic regridding, in which a refined subregion redistributes
+// its data across the machine (block transfers to strided partners).
+func AMR(s Scale) *trace.Trace {
+	limit := 1728
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	e := cube(limit)
+	g := Grid3D{NX: e, NY: e, NZ: e}
+	b := NewBuilder("AMR", g.Size())
+	n := g.Size()
+	iters := s.iters(2)
+	for it := 0; it < iters; it++ {
+		for stride := 1; stride < e && stride <= 4; stride *= 2 {
+			b.Halo(g, stride, s.bytes(4096/stride))
+		}
+		// Regrid: the refined half redistributes to partners offset by
+		// half the machine.
+		for r := 0; r < n/2; r++ {
+			b.Message(int32(r), int32(r+n/2), s.bytes(8192))
+		}
+		b.AllReduce(g.Group(1), 8)
+	}
+	return b.Trace()
+}
+
+// MiniFE models a conjugate-gradient solve: a halo exchange plus two
+// scalar allreduces (the dot products) per iteration, over many
+// iterations — the classic latency-bound CG signature.
+func MiniFE(s Scale) *trace.Trace {
+	limit := 1152
+	if s.Ranks > 0 && s.Ranks < limit {
+		limit = s.Ranks
+	}
+	// MiniFE's 1152 = 8x12x12; use that exact decomposition when it
+	// fits, otherwise the largest modest-aspect box that does.
+	gx, gy, gz := 8, 12, 12
+	if limit < 1152 {
+		gx, gy, gz = box3(limit)
+	}
+	g := Grid3D{NX: gx, NY: gy, NZ: gz}
+	b := NewBuilder("MiniFE", g.Size())
+	iters := s.iters(8)
+	for it := 0; it < iters; it++ {
+		b.Halo(g, 1, s.bytes(2048))
+		b.AllReduce(g.Group(1), 8)
+		b.AllReduce(g.Group(1), 8)
+	}
+	return b.Trace()
+}
+
+// box3 returns a 3-D box x<=y<=z with maximal volume <= limit and modest
+// aspect ratio, mimicking MiniFE's non-cubic decompositions.
+func box3(limit int) (int, int, int) {
+	e := cube(limit)
+	x, y, z := e, e, e
+	// Try to extend z while staying within the limit.
+	for x*y*(z+1) <= limit {
+		z++
+	}
+	return x, y, z
+}

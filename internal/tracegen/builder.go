@@ -1,0 +1,176 @@
+// Package tracegen synthesizes MPI traces modeling the communication
+// skeletons of the six DOE DesignForward applications of the paper's
+// Table II. The real traces are large downloads tied to the SST/Macro
+// toolchain; these generators reproduce the properties Figure 6 depends
+// on — the communication pattern (all-to-all, halo, V-cycle, CG), the
+// bandwidth-vs-latency character of each app, and the rank counts — from
+// the apps' published descriptions. See DESIGN.md for the substitution
+// rationale.
+package tracegen
+
+import (
+	"math/bits"
+
+	"stashsim/internal/trace"
+)
+
+// Builder incrementally constructs a trace with matched send/recv pairs
+// and globally unique message ids.
+type Builder struct {
+	t    *trace.Trace
+	next uint32
+}
+
+// NewBuilder starts a trace with the given name and rank count.
+func NewBuilder(name string, ranks int) *Builder {
+	return &Builder{t: &trace.Trace{
+		Name:   name,
+		Ranks:  ranks,
+		Events: make([][]trace.Event, ranks),
+	}}
+}
+
+// Trace returns the built trace.
+func (b *Builder) Trace() *trace.Trace { return b.t }
+
+// Message appends a send on src and the matching recv on dst.
+func (b *Builder) Message(src, dst int32, bytes int) {
+	id := b.next
+	b.next++
+	b.t.Events[src] = append(b.t.Events[src], trace.Event{Kind: trace.Send, Peer: dst, Bytes: bytes, MsgID: id})
+	b.t.Events[dst] = append(b.t.Events[dst], trace.Event{Kind: trace.Recv, Peer: src, MsgID: id})
+}
+
+// Exchange appends a bidirectional message pair between a and b.
+func (bl *Builder) Exchange(a, b int32, bytes int) {
+	bl.Message(a, b, bytes)
+	bl.Message(b, a, bytes)
+}
+
+// AllToAll appends a full exchange among the group: every rank sends
+// bytesPerPair to every other rank (sends first, then receives — the
+// eager/non-blocking MPI_Alltoall shape).
+func (b *Builder) AllToAll(group []int32, bytesPerPair int) {
+	ids := make(map[[2]int32]uint32, len(group)*len(group))
+	for _, src := range group {
+		for j := range group {
+			// Rotate the target order by the source's position so the
+			// instantaneous pattern is a shifting permutation, as real
+			// all-to-all implementations schedule it.
+			dst := group[(indexOf(group, src)+j+1)%len(group)]
+			if dst == src {
+				continue
+			}
+			id := b.next
+			b.next++
+			ids[[2]int32{src, dst}] = id
+			b.t.Events[src] = append(b.t.Events[src], trace.Event{Kind: trace.Send, Peer: dst, Bytes: bytesPerPair, MsgID: id})
+		}
+	}
+	for _, dst := range group {
+		for j := range group {
+			src := group[(indexOf(group, dst)+j+1)%len(group)]
+			if src == dst {
+				continue
+			}
+			b.t.Events[dst] = append(b.t.Events[dst], trace.Event{Kind: trace.Recv, Peer: src, MsgID: ids[[2]int32{src, dst}]})
+		}
+	}
+}
+
+func indexOf(group []int32, r int32) int {
+	for i, g := range group {
+		if g == r {
+			return i
+		}
+	}
+	panic("tracegen: rank not in group")
+}
+
+// Reduce appends a binomial-tree reduction of `bytes` onto group[0],
+// ordered so every parent receives before sending upward.
+func (b *Builder) Reduce(group []int32, bytes int) {
+	n := len(group)
+	if n < 2 {
+		return
+	}
+	levels := bits.Len(uint(n - 1))
+	// Process from the deepest level up so child receives precede parent
+	// sends in each rank's event order.
+	for l := 0; l < levels; l++ {
+		stride := 1 << uint(l)
+		for i := 0; i+stride < n; i += stride * 2 {
+			b.Message(group[i+stride], group[i], bytes)
+		}
+	}
+}
+
+// Broadcast appends a binomial-tree broadcast of `bytes` from group[0].
+func (b *Builder) Broadcast(group []int32, bytes int) {
+	n := len(group)
+	if n < 2 {
+		return
+	}
+	levels := bits.Len(uint(n - 1))
+	for l := levels - 1; l >= 0; l-- {
+		stride := 1 << uint(l)
+		for i := 0; i+stride < n; i += stride * 2 {
+			b.Message(group[i], group[i+stride], bytes)
+		}
+	}
+}
+
+// AllReduce appends a reduce followed by a broadcast (the classic
+// non-power-of-two-safe implementation).
+func (b *Builder) AllReduce(group []int32, bytes int) {
+	b.Reduce(group, bytes)
+	b.Broadcast(group, bytes)
+}
+
+// Grid3D is a 3-D process grid with rank = (z*ny + y)*nx + x.
+type Grid3D struct {
+	NX, NY, NZ int
+}
+
+// Rank returns the rank at (x, y, z).
+func (g Grid3D) Rank(x, y, z int) int32 {
+	return int32((z*g.NY+y)*g.NX + x)
+}
+
+// Size returns the number of ranks in the grid.
+func (g Grid3D) Size() int { return g.NX * g.NY * g.NZ }
+
+// Halo appends a 6-point (face-neighbor) halo exchange over the grid at
+// the given stride (stride > 1 models coarser multigrid levels where only
+// every stride-th rank participates). bytes is the per-face message size.
+func (b *Builder) Halo(g Grid3D, stride, bytes int) {
+	for z := 0; z < g.NZ; z += stride {
+		for y := 0; y < g.NY; y += stride {
+			for x := 0; x < g.NX; x += stride {
+				src := g.Rank(x, y, z)
+				if x+stride < g.NX {
+					b.Exchange(src, g.Rank(x+stride, y, z), bytes)
+				}
+				if y+stride < g.NY {
+					b.Exchange(src, g.Rank(x, y+stride, z), bytes)
+				}
+				if z+stride < g.NZ {
+					b.Exchange(src, g.Rank(x, y, z+stride), bytes)
+				}
+			}
+		}
+	}
+}
+
+// Group returns the ranks participating at the given stride.
+func (g Grid3D) Group(stride int) []int32 {
+	var out []int32
+	for z := 0; z < g.NZ; z += stride {
+		for y := 0; y < g.NY; y += stride {
+			for x := 0; x < g.NX; x += stride {
+				out = append(out, g.Rank(x, y, z))
+			}
+		}
+	}
+	return out
+}

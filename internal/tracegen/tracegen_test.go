@@ -1,0 +1,185 @@
+package tracegen
+
+import (
+	"bytes"
+	"testing"
+
+	"stashsim/internal/trace"
+)
+
+func TestAllAppsValidate(t *testing.T) {
+	for _, app := range Apps() {
+		tr := app.Generate(DefaultScale())
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if tr.Ranks > app.PaperRanks {
+			t.Fatalf("%s: %d ranks exceeds paper's %d", app.Name, tr.Ranks, app.PaperRanks)
+		}
+		if tr.TotalMessages() == 0 {
+			t.Fatalf("%s: empty trace", app.Name)
+		}
+	}
+}
+
+func TestPaperRankCounts(t *testing.T) {
+	want := map[string]int{
+		"BIGFFT": 1024, "AMG": 1728, "MultiGrid": 1000,
+		"FillBoundary": 1000, "AMR": 1728, "MiniFE": 1152,
+	}
+	for _, app := range Apps() {
+		tr := app.Generate(DefaultScale())
+		if tr.Ranks != want[app.Name] {
+			t.Fatalf("%s: %d ranks, want %d (Table II)", app.Name, tr.Ranks, want[app.Name])
+		}
+	}
+}
+
+func TestScalingShrinksRanks(t *testing.T) {
+	s := DefaultScale()
+	s.Ranks = 100
+	for _, app := range Apps() {
+		tr := app.Generate(s)
+		if tr.Ranks > 100 {
+			t.Fatalf("%s: %d ranks exceeds cap 100", app.Name, tr.Ranks)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s scaled: %v", app.Name, err)
+		}
+	}
+}
+
+func TestBandwidthCharacter(t *testing.T) {
+	// The paper's two bandwidth-bound traces must carry substantially
+	// more bytes per rank than the latency-bound ones.
+	s := DefaultScale()
+	s.Ranks = 350
+	perRank := map[string]float64{}
+	for _, app := range Apps() {
+		tr := app.Generate(s)
+		perRank[app.Name] = float64(tr.TotalBytes()) / float64(tr.Ranks)
+	}
+	for _, heavy := range []string{"BIGFFT", "FillBoundary"} {
+		for _, light := range []string{"AMG", "MiniFE", "AMR"} {
+			if perRank[heavy] < 2*perRank[light] {
+				t.Fatalf("%s (%.0f B/rank) not clearly heavier than %s (%.0f B/rank)",
+					heavy, perRank[heavy], light, perRank[light])
+			}
+		}
+	}
+}
+
+func TestAllToAllComplete(t *testing.T) {
+	b := NewBuilder("a2a", 4)
+	b.AllToAll([]int32{0, 1, 2, 3}, 100)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalMessages() != 12 {
+		t.Fatalf("%d messages, want 4*3", tr.TotalMessages())
+	}
+}
+
+func TestAllReduceStructure(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 13} {
+		b := NewBuilder("ar", n)
+		group := make([]int32, n)
+		for i := range group {
+			group[i] = int32(i)
+		}
+		b.AllReduce(group, 8)
+		tr := b.Trace()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// A tree reduce+broadcast uses 2(n-1) messages.
+		if got := tr.TotalMessages(); got != 2*(n-1) {
+			t.Fatalf("n=%d: %d messages, want %d", n, got, 2*(n-1))
+		}
+	}
+}
+
+func TestHaloNeighborCount(t *testing.T) {
+	g := Grid3D{NX: 3, NY: 3, NZ: 3}
+	b := NewBuilder("halo", g.Size())
+	b.Halo(g, 1, 100)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 faces x 2x3x3... links: (NX-1)*NY*NZ per axis = 18 each, 54
+	// total, bidirectional = 108 messages.
+	if got := tr.TotalMessages(); got != 108 {
+		t.Fatalf("%d halo messages, want 108", got)
+	}
+	// The center rank has 6 neighbors = 6 sends + 6 recvs.
+	center := g.Rank(1, 1, 1)
+	sends := 0
+	for _, ev := range tr.Events[center] {
+		if ev.Kind == trace.Send {
+			sends++
+		}
+	}
+	if sends != 6 {
+		t.Fatalf("center rank sends %d, want 6", sends)
+	}
+}
+
+func TestHaloStrideThinning(t *testing.T) {
+	g := Grid3D{NX: 4, NY: 4, NZ: 4}
+	if got := len(g.Group(2)); got != 8 {
+		t.Fatalf("stride-2 group has %d ranks, want 8", got)
+	}
+	b := NewBuilder("halo2", g.Size())
+	b.Halo(g, 2, 100)
+	if err := b.Trace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	s := DefaultScale()
+	s.Ranks = 64
+	tr := MiniFE(s)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Ranks != tr.Ranks ||
+		got.TotalMessages() != tr.TotalMessages() || got.TotalBytes() != tr.TotalBytes() {
+		t.Fatal("round trip changed the trace")
+	}
+	for r := range tr.Events {
+		if len(got.Events[r]) != len(tr.Events[r]) {
+			t.Fatalf("rank %d event count changed", r)
+		}
+	}
+}
+
+func TestAppByName(t *testing.T) {
+	if _, err := AppByName("BIGFFT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppByName("nope"); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}
+
+func TestCubeAndSquare(t *testing.T) {
+	cases := []struct{ limit, cube, square int }{
+		{1, 1, 1}, {7, 1, 2}, {8, 2, 2}, {27, 3, 5}, {1000, 10, 31}, {1728, 12, 41},
+	}
+	for _, c := range cases {
+		if got := cube(c.limit); got != c.cube {
+			t.Fatalf("cube(%d)=%d want %d", c.limit, got, c.cube)
+		}
+		if got := square(c.limit); got != c.square {
+			t.Fatalf("square(%d)=%d want %d", c.limit, got, c.square)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package traffic provides the synthetic workload generators of the
+// paper's evaluation: uniform-random Bernoulli arrivals, saturating
+// sources, hotspot aggressors, and bursty (multi-packet-message) variants.
+// Generators are closures installed as endpoint.Endpoint.Gen hooks.
+package traffic
+
+import (
+	"stashsim/internal/endpoint"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+)
+
+// Gen is the per-endpoint generator hook type.
+type Gen = func(now sim.Tick, e *endpoint.Endpoint)
+
+// Uniform returns a Bernoulli uniform-random generator: messages of
+// msgFlits flits arrive with the probability that produces `load` fraction
+// of channel capacity, each to a uniformly random other endpoint drawn
+// from dests (pass nil for all endpoints).
+//
+// rate is the channel capacity in flits/cycle (RateNum/RateDen); start
+// delays generation (cycles).
+func Uniform(rng *sim.RNG, numEndpoints int, dests []int32, load, rate float64, msgFlits int, class proto.Class, start sim.Tick) Gen {
+	p := load * rate / float64(msgFlits)
+	return func(now sim.Tick, e *endpoint.Endpoint) {
+		if now < start || !rng.Bernoulli(p) {
+			return
+		}
+		dst := randomDest(rng, numEndpoints, dests, e.ID)
+		e.EnqueueMessage(dst, msgFlits, class, 0)
+	}
+}
+
+// Saturating returns a generator that keeps the endpoint's injection
+// backlog topped up so it always injects at the maximum rate, sending
+// msgFlits-flit messages to uniformly random destinations. The backlog is
+// kept shallow (two messages) so stopping the generator drains quickly.
+func Saturating(rng *sim.RNG, numEndpoints int, dests []int32, msgFlits int, class proto.Class, start, stop sim.Tick) Gen {
+	return func(now sim.Tick, e *endpoint.Endpoint) {
+		if now < start || (stop > 0 && now >= stop) {
+			return
+		}
+		for e.QueuedFlits() < int64(2*msgFlits) {
+			dst := randomDest(rng, numEndpoints, dests, e.ID)
+			e.EnqueueMessage(dst, msgFlits, class, 0)
+		}
+	}
+}
+
+// Hotspot returns a generator for one aggressor source that streams
+// msgFlits-flit messages to a single fixed destination at the maximum
+// rate, beginning at start.
+func Hotspot(dst int32, msgFlits int, class proto.Class, start sim.Tick) Gen {
+	return func(now sim.Tick, e *endpoint.Endpoint) {
+		if now < start {
+			return
+		}
+		for e.QueuedFlits() < int64(2*msgFlits) {
+			e.EnqueueMessage(dst, msgFlits, class, 0)
+		}
+	}
+}
+
+// Permutation returns a generator sending all traffic to one fixed partner
+// at the given load (used by tests as an adversarial pattern).
+func Permutation(rng *sim.RNG, partner int32, load, rate float64, msgFlits int, class proto.Class) Gen {
+	p := load * rate / float64(msgFlits)
+	return func(now sim.Tick, e *endpoint.Endpoint) {
+		if rng.Bernoulli(p) {
+			e.EnqueueMessage(partner, msgFlits, class, 0)
+		}
+	}
+}
+
+func randomDest(rng *sim.RNG, numEndpoints int, dests []int32, self int32) int32 {
+	if dests == nil {
+		for {
+			d := int32(rng.Intn(numEndpoints))
+			if d != self {
+				return d
+			}
+		}
+	}
+	for {
+		d := dests[rng.Intn(len(dests))]
+		if d != self {
+			return d
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package viz renders experiment data as ASCII charts so cmd/figures can
+// show the paper's figure shapes directly in a terminal, alongside the CSV
+// output meant for real plotting.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers distinguish overlapping series in a chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart configures an ASCII plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	LogY   bool
+}
+
+func (c *Chart) dims() (int, int) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	return w, h
+}
+
+// Render draws the series into one fixed-width chart with axes, legend and
+// linear (or log) y scaling.
+func (c *Chart) Render(series ...Series) string {
+	w, h := c.dims()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	yFmt := func(v float64) string {
+		if c.LogY {
+			v = math.Pow(10, v)
+		}
+		return trimNum(v)
+	}
+	topLabel := yFmt(maxY)
+	botLabel := yFmt(minY)
+	labW := len(topLabel)
+	if len(botLabel) > labW {
+		labW = len(botLabel)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labW, topLabel)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", labW, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labW), strings.Repeat("-", w))
+	left := trimNum(minX)
+	right := trimNum(maxX)
+	gap := w - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", labW), left, strings.Repeat(" ", gap), right)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	}
+	b.WriteByte('\n')
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "y: %s;  ", c.YLabel)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Bars renders a grouped horizontal bar chart (used for the Figure 6
+// normalized-runtime comparison).
+func Bars(title string, labels []string, groups []string, values [][]float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxV := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	grpW := 0
+	for _, g := range groups {
+		if len(g) > grpW {
+			grpW = len(g)
+		}
+	}
+	for i, l := range labels {
+		for j, g := range groups {
+			v := 0.0
+			if i < len(values) && j < len(values[i]) {
+				v = values[i][j]
+			}
+			n := int(v / maxV * float64(width))
+			name := ""
+			if j == 0 {
+				name = l
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s %s\n", labW, name, grpW, g,
+				strings.Repeat("=", n), trimNum(v))
+		}
+	}
+	return b.String()
+}
+
+// trimNum formats a float compactly.
+func trimNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01 || av == 0:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}

@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	c := &Chart{Title: "t", Width: 20, Height: 5, XLabel: "x", YLabel: "y"}
+	out := c.Render(Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 5 rows + axis + x labels + legend.
+	if len(lines) < 8 {
+		t.Fatalf("too few lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "* a") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Increasing series: marker in top row at right, bottom row at left.
+	top, bottom := lines[1], lines[5]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("markers not at extremes:\n%s", out)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Fatalf("increasing series renders decreasing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{}
+	out := c.Render(Series{Name: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data notice, got:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	out := c.Render(Series{Name: "c", X: []float64{0, 1}, Y: []float64{5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series lost:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8, LogY: true}
+	out := c.Render(Series{Name: "l", X: []float64{0, 1, 2}, Y: []float64{1, 100, 10000}})
+	// Log scaling puts the middle point mid-height.
+	if !strings.Contains(out, "*") {
+		t.Fatal("log chart lost data")
+	}
+	// Non-positive values are skipped, not crashed on.
+	out = c.Render(Series{Name: "z", X: []float64{0, 1}, Y: []float64{0, 10}})
+	if !strings.Contains(out, "*") {
+		t.Fatal("positive point dropped alongside non-positive")
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	c := &Chart{Width: 20, Height: 5}
+	out := c.Render(
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("runtimes", []string{"BIGFFT", "AMG"}, []string{"base", "stash"},
+		[][]float64{{1.0, 1.02}, {1.0, 0.98}}, 20)
+	if !strings.Contains(out, "BIGFFT") || !strings.Contains(out, "stash") {
+		t.Fatalf("bars missing labels:\n%s", out)
+	}
+	if strings.Count(out, "|") != 4 {
+		t.Fatalf("expected 4 bars:\n%s", out)
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	cases := map[float64]string{
+		12345: "12345",
+		42.5:  "42.5",
+		1.234: "1.23",
+		0:     "0.00",
+	}
+	for v, want := range cases {
+		got := trimNum(v)
+		if got != want && !(v == 0 && got == "0") {
+			t.Fatalf("trimNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
