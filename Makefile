@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures figures-paper examples clean
+.PHONY: all build test vet race bench figures figures-paper examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass (tier-1 alongside vet); the parallel executor and the
+# shared observability sinks (tracer) are the paths it guards. -short skips
+# the multi-minute simulation sweeps (they run unshortened in `make test`
+# and add no concurrency coverage) so the ~10x race slowdown stays within
+# the default per-package test timeout.
+race:
+	$(GO) test -race -short ./...
 
 # Reduced-scale benchmark harness: one benchmark per table/figure plus the
 # ablations. Full datasets come from `make figures`.

@@ -14,6 +14,7 @@ import (
 
 	"stashsim/internal/core"
 	"stashsim/internal/harness"
+	"stashsim/internal/metrics"
 	"stashsim/internal/network"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
@@ -222,4 +223,69 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		n.Run(1000)
 	}
 	b.ReportMetric(float64(len(n.Switches))*1000, "switch-cycles/op")
+}
+
+// BenchmarkMetricsOverhead quantifies the cost of the observability layer:
+// the same tiny e2e run with metrics disabled (nil handles everywhere) and
+// enabled (registry + tracer + sampler attached). The disabled variant is
+// the guard — it must run alloc-free inside the simulation loop, so leaving
+// the instrumentation compiled in is free by default. EXPERIMENTS.md records
+// the measured delta.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, observe bool) {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if observe {
+			n.EnableMetrics(metrics.NewRegistry())
+			n.EnableTracing(metrics.NewTracer(1 << 14))
+			n.AttachSampler(500)
+		}
+		rng := sim.NewRNG(11)
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				0.3, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Run(2000) // warm up: steady state, all buffers/pools allocated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Run(100)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
+}
+
+// TestMetricsDisabledAllocFree is the hard form of the benchmark guard: a
+// steady-state simulation step with no observability attached must not
+// allocate at all, so the disabled path cannot regress silently.
+func TestMetricsDisabledAllocFree(t *testing.T) {
+	cfg := core.TinyConfig()
+	cfg.Mode = core.StashE2E
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(11)
+	for _, ep := range n.Endpoints {
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			0.3, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+	}
+	n.Run(5000) // reach steady state so pools and buffers are warm
+	// Detach the generators: injection mints fresh flits (inherent to offered
+	// traffic, metrics or not), so the guard measures the switching fabric
+	// alone, with plenty of in-flight traffic still exercising the
+	// instrumented stash/VC/crossbar paths.
+	for _, ep := range n.Endpoints {
+		ep.Gen = nil
+	}
+	n.Run(50)
+	allocs := testing.AllocsPerRun(200, func() { n.Step() })
+	if allocs > 0 {
+		t.Fatalf("in-flight Step with metrics disabled allocates %.2f/op, want 0", allocs)
+	}
 }

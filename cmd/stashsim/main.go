@@ -6,20 +6,66 @@
 //	stashsim -preset small -mode e2e -load 0.5 -cycles 50000
 //	stashsim -preset paper -mode congestion -load 0.4 -hotspots 12 -cycles 130000
 //	stashsim -p 3 -a 7 -h 3 -mode baseline -load 0.8
+//	stashsim -preset tiny -mode e2e -metrics -trace trace.jsonl -sample-every 1000 -json
+//
+// Observability: -metrics prints the switch-level metric registry,
+// -trace/-trace-chrome export the packet-lifecycle ring buffer as JSONL
+// and Chrome trace_event JSON, -sample-every writes fixed-interval
+// occupancy samples as CSV, -watchdog dumps non-idle switch state on
+// zero-delivery windows, and -json emits a machine-readable run summary
+// on stdout (human-readable output moves to stderr).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"stashsim/internal/core"
+	"stashsim/internal/metrics"
 	"stashsim/internal/network"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 	"stashsim/internal/topo"
 	"stashsim/internal/traffic"
 )
+
+// runSummary is the -json output schema.
+type runSummary struct {
+	Network  string  `json:"network"`
+	Mode     string  `json:"mode"`
+	Seed     uint64  `json:"seed"`
+	Cycles   int64   `json:"cycles"`
+	Warmup   int64   `json:"warmup"`
+	Offered  float64 `json:"offered"`
+	Accepted float64 `json:"accepted"`
+
+	Latency struct {
+		MeanNS  float64 `json:"mean_ns"`
+		P50NS   float64 `json:"p50_ns"`
+		P90NS   float64 `json:"p90_ns"`
+		P99NS   float64 `json:"p99_ns"`
+		MaxNS   float64 `json:"max_ns"`
+		Packets int64   `json:"packets"`
+	} `json:"latency"`
+
+	Counters      core.Counters    `json:"counters"`
+	StashResident int              `json:"stash_resident_flits"`
+	Metrics       map[string]int64 `json:"metrics,omitempty"`
+	TraceEvents   int              `json:"trace_events,omitempty"`
+	TraceDropped  int64            `json:"trace_dropped,omitempty"`
+	WatchdogStall int64            `json:"watchdog_stalls"`
+	Artifacts     map[string]string `json:"artifacts,omitempty"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	preset := flag.String("preset", "small", "base preset: tiny, small, paper (overridden by -p/-a/-h)")
@@ -37,7 +83,38 @@ func main() {
 	ecn := flag.Bool("ecn", false, "enable ECN (implied by -mode congestion)")
 	banks := flag.Bool("banks", false, "model two-bank port memory conflicts")
 	errRate := flag.Float64("errors", 0, "per-packet NACK probability (e2e retransmission)")
+
+	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")
+	metricsFull := flag.Bool("metrics-full", false, "with -metrics, print every per-switch/per-tile scope instead of totals")
+	traceOut := flag.String("trace", "", "write the packet-lifecycle trace as JSONL to this file")
+	traceChrome := flag.String("trace-chrome", "", "write the packet-lifecycle trace as Chrome trace_event JSON to this file")
+	traceCap := flag.Int("trace-cap", 1<<16, "lifecycle tracer ring capacity in events")
+	sampleEvery := flag.Int64("sample-every", 0, "occupancy sampling interval in cycles (0 = off)")
+	sampleOut := flag.String("sample-out", "occupancy.csv", "occupancy sample CSV output file (with -sample-every)")
+	watchdog := flag.Int64("watchdog", 0, "zero-delivery stall window in cycles (0 = off); dumps non-idle switch state")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run summary as JSON on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON document; everything
+	// human-readable moves to stderr.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var cfg *core.Config
 	switch *preset {
@@ -66,8 +143,7 @@ func main() {
 		cfg.Mode = core.StashCongestion
 		cfg.ECN = core.DefaultECN()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		fatalf("unknown mode %q", *mode)
 	}
 	if *ecn {
 		cfg.ECN = core.DefaultECN()
@@ -82,10 +158,26 @@ func main() {
 
 	n, err := network.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
-	fmt.Println(n.Describe())
+	fmt.Fprintln(out, n.Describe())
+
+	var reg *metrics.Registry
+	if *enableMetrics {
+		reg = metrics.NewRegistry()
+		n.EnableMetrics(reg)
+	}
+	var tracer *metrics.Tracer
+	if *traceOut != "" || *traceChrome != "" {
+		tracer = metrics.NewTracer(*traceCap)
+		n.EnableTracing(tracer)
+	}
+	if *sampleEvery > 0 {
+		n.AttachSampler(*sampleEvery)
+	}
+	if *watchdog > 0 {
+		n.AttachWatchdog(*watchdog, os.Stderr)
+	}
 
 	rng := sim.NewRNG(*seed + 77)
 	rate := n.ChannelRate()
@@ -134,24 +226,25 @@ func main() {
 	n.Warmup(*warm)
 	n.Run(*cycles)
 
+	artifacts := map[string]string{}
 	lat := n.Collector.LatAcc[victims]
 	h := n.Collector.LatHist[victims]
-	fmt.Printf("measured %d cycles (%.1f us)\n", *cycles, float64(*cycles)/1300)
-	fmt.Printf("offered  %.3f  accepted %.3f (fraction of capacity)\n",
+	fmt.Fprintf(out, "measured %d cycles (%.1f us)\n", *cycles, float64(*cycles)/1300)
+	fmt.Fprintf(out, "offered  %.3f  accepted %.3f (fraction of capacity)\n",
 		n.NormalizedOffered(*cycles), n.NormalizedAccepted(*cycles))
-	fmt.Printf("latency  mean %.0f ns  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f ns (%d packets)\n",
+	fmt.Fprintf(out, "latency  mean %.0f ns  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f ns (%d packets)\n",
 		lat.Mean()/1.3,
 		float64(h.Percentile(50))/1.3, float64(h.Percentile(90))/1.3,
 		float64(h.Percentile(99))/1.3, lat.Max/1.3, lat.N)
 	c := n.Counters()
-	fmt.Printf("switching: %d flits, %d sent; stash: %d stored / %d retrieved / %d resident\n",
+	fmt.Fprintf(out, "switching: %d flits, %d sent; stash: %d stored / %d retrieved / %d resident\n",
 		c.FlitsSwitched, c.FlitsSent, c.StashStores, c.StashRetrieves, n.TotalStashUsed())
 	if cfg.ECN.Enabled {
-		fmt.Printf("ECN: %d marks, %d window shrinks, %d congested port-cycles\n",
+		fmt.Fprintf(out, "ECN: %d marks, %d window shrinks, %d congested port-cycles\n",
 			c.ECNMarks, n.Collector.WindowShrinks, c.CongestedCycles)
 	}
 	if cfg.Mode == core.StashE2E {
-		fmt.Printf("e2e: %d tracked, %d deleted, %d retransmits, %d sideband msgs\n",
+		fmt.Fprintf(out, "e2e: %d tracked, %d deleted, %d retransmits, %d sideband msgs\n",
 			c.E2ETracked, c.E2EDeletes, c.E2ERetransmits, c.SidebandMsgs)
 	}
 	if cfg.BankModel {
@@ -159,6 +252,111 @@ func main() {
 		for _, s := range n.Switches {
 			bc += s.BankConflicts()
 		}
-		fmt.Printf("bank conflicts: %d\n", bc)
+		fmt.Fprintf(out, "bank conflicts: %d\n", bc)
 	}
+
+	if reg != nil {
+		if *metricsFull {
+			fmt.Fprintf(out, "\nmetrics (all scopes):\n%s", reg.Table())
+		} else {
+			fmt.Fprintf(out, "\nmetrics (totals across switches):\n%s", reg.TotalsTable())
+		}
+	}
+	if tracer != nil {
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, tracer.WriteJSONL); err != nil {
+				fatalf("trace: %v", err)
+			}
+			artifacts["trace_jsonl"] = *traceOut
+			fmt.Fprintf(out, "trace: %d events (%d dropped) -> %s\n", tracer.Len(), tracer.Dropped(), *traceOut)
+		}
+		if *traceChrome != "" {
+			if err := writeFileWith(*traceChrome, tracer.WriteChromeTrace); err != nil {
+				fatalf("trace-chrome: %v", err)
+			}
+			artifacts["trace_chrome"] = *traceChrome
+			fmt.Fprintf(out, "chrome trace: %d events -> %s (open in chrome://tracing or Perfetto)\n",
+				tracer.Len(), *traceChrome)
+		}
+	}
+	if n.Sampler != nil {
+		if err := os.WriteFile(*sampleOut, []byte(n.Sampler.CSV()), 0o644); err != nil {
+			fatalf("sample-out: %v", err)
+		}
+		artifacts["occupancy_csv"] = *sampleOut
+		fmt.Fprintf(out, "occupancy samples (every %d cycles) -> %s\n", *sampleEvery, *sampleOut)
+	}
+	if n.Watchdog != nil && n.Watchdog.Stalls > 0 {
+		fmt.Fprintf(out, "watchdog: %d zero-delivery window(s) detected\n", n.Watchdog.Stalls)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+		artifacts["memprofile"] = *memprofile
+	}
+	if *cpuprofile != "" {
+		artifacts["cpuprofile"] = *cpuprofile
+	}
+
+	if *jsonOut {
+		var s runSummary
+		s.Network = n.Describe()
+		s.Mode = cfg.Mode.String()
+		s.Seed = *seed
+		s.Cycles = *cycles
+		s.Warmup = *warm
+		s.Offered = n.NormalizedOffered(*cycles)
+		s.Accepted = n.NormalizedAccepted(*cycles)
+		s.Latency.MeanNS = lat.Mean() / 1.3
+		s.Latency.P50NS = float64(h.Percentile(50)) / 1.3
+		s.Latency.P90NS = float64(h.Percentile(90)) / 1.3
+		s.Latency.P99NS = float64(h.Percentile(99)) / 1.3
+		s.Latency.MaxNS = lat.Max / 1.3
+		s.Latency.Packets = lat.N
+		s.Counters = c
+		s.StashResident = n.TotalStashUsed()
+		if reg != nil {
+			s.Metrics = map[string]int64{}
+			names, values := reg.Totals()
+			for i, name := range names {
+				s.Metrics[name] = values[i]
+			}
+		}
+		if tracer != nil {
+			s.TraceEvents = tracer.Len()
+			s.TraceDropped = tracer.Dropped()
+		}
+		if n.Watchdog != nil {
+			s.WatchdogStall = n.Watchdog.Stalls
+		}
+		if len(artifacts) > 0 {
+			s.Artifacts = artifacts
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&s); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+}
+
+// writeFileWith streams a writer-consuming export into a file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

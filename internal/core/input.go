@@ -2,6 +2,7 @@ package core
 
 import (
 	"stashsim/internal/buffer"
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 )
@@ -83,6 +84,7 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 				panic("core: non-head flit at idle input VC")
 			}
 			dec := s.router.Route(f, s.ID, s)
+			s.tracer.Record(now, metrics.EvRoute, f.PktID, int32(s.ID), int32(dec.Out), f.Src, f.Dst)
 			ivc := dec.NextVC
 			if dec.Eject {
 				// Ejecting packets keep their arrival VC through the
@@ -131,6 +133,7 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 				col, found := s.jsqColumn(row, slot, int(f.Size))
 				if !found {
 					s.Counters.StashFullStalls++
+					s.m.stashFullStalls.Inc()
 				} else if normalOK && sFree {
 					lt.stashCol = int8(col)
 					ok = true
@@ -180,6 +183,10 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 		}
 		f := pool.RetrPop()
 		s.Counters.StashRetrieves++
+		s.m.stashRetrieves.Inc()
+		if f.Head() {
+			s.tracer.Record(now, metrics.EvStashRetrieve, f.PktID, int32(s.ID), int32(p.id), f.Src, f.Dst)
+		}
 		f.VC = proto.VCRetrieve
 		f.Out = f.OrigOut
 		s.tileAt(row, cfg.ColOf(int(f.Out))).push(f, slot, proto.VCRetrieve)
@@ -209,6 +216,13 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 		// Congestion stashing: the whole packet is absorbed on the
 		// storage VC; its intended output and VC travel along for the
 		// later retrieval.
+		if f.Head() {
+			s.Counters.HoLAbsorbed++
+			s.m.holAbsorbed.Inc()
+			if s.m.jsqPick != nil {
+				s.m.jsqPick[lt.stashCol].Inc()
+			}
+		}
 		f.OrigOut = lt.out
 		f.RestoreVC = lt.vc
 		f.Out = 0xFF // decided by JSQ at the tile
@@ -230,6 +244,9 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 			if f.Head() {
 				s.track[p.id][f.PktID] = &e2eEntry{size: f.Size, stashPort: -1}
 				s.Counters.E2ETracked++
+				if s.m.jsqPick != nil {
+					s.m.jsqPick[lt.stashCol].Inc()
+				}
 			}
 		}
 	}

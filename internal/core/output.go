@@ -2,6 +2,7 @@ package core
 
 import (
 	"stashsim/internal/buffer"
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 	"stashsim/internal/topo"
@@ -92,6 +93,10 @@ func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 	pool := s.stash[op.id]
 	s.Counters.StashStores++
+	s.m.stashStores.Inc()
+	if f.Head() {
+		s.tracer.Record(now, metrics.EvStashStore, f.PktID, int32(s.ID), int32(op.id), f.Src, f.Dst)
+	}
 	if f.Flags&proto.FlagStashCopy != 0 {
 		if pool.PutCopy(f) {
 			origin := int(f.Src) % s.cfg.Topo.P
@@ -147,6 +152,9 @@ func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
 		any = true
 	}
 	if !any {
+		// Flits are queued but every occupied VC is blocked on downstream
+		// credits: a credit-stall cycle on this output.
+		s.m.creditStalls.Inc()
 		return
 	}
 	vc := op.sendArb.Grant(req[:])

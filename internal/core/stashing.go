@@ -1,6 +1,7 @@
 package core
 
 import (
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 )
@@ -153,6 +154,7 @@ func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 	}
 	s.Counters.E2ERetransmits++
 	h := &flits[0]
+	s.tracer.Record(now, metrics.EvRetransmit, pktID, int32(s.ID), int32(stashPort), h.Src, h.Dst)
 	h.Hops = 0
 	h.Phase = proto.PhaseInject
 	h.MidGroup = -1

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"stashsim/internal/arb"
 	"stashsim/internal/buffer"
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/route"
 	"stashsim/internal/sim"
@@ -24,6 +27,24 @@ type Counters struct {
 	SidebandMsgs    int64 // bookkeeping messages carried by the side-band network
 	CongStashed     int64 // packets absorbed by congestion stashing
 	CongStashedVict int64 // victim-class packets absorbed (diagnostics)
+	HoLAbsorbed     int64 // HoL-blocked packets diverted to stash at the input
+}
+
+// switchMetrics holds the per-switch registry handles. It is a value
+// struct whose fields stay nil when metrics are disabled (the default):
+// every handle method is nil-receiver-safe, so instrumentation sites cost
+// one predictable branch and zero allocations on the disabled path.
+type switchMetrics struct {
+	cycles          *metrics.Counter   // switch cycles stepped
+	svcFlits        *metrics.Counter   // storage-VC flits crossing tile column channels
+	rvcFlits        *metrics.Counter   // retrieval-VC flits crossing tile column channels
+	colFlits        *metrics.Counter   // all flits crossing tile column channels
+	creditStalls    *metrics.Counter   // output cycles stalled with flits queued but no credits
+	holAbsorbed     *metrics.Counter   // packets absorbed by congestion stashing (HoL events)
+	stashStores     *metrics.Counter   // flits written into stash pools
+	stashRetrieves  *metrics.Counter   // flits read back out of stash pools
+	stashFullStalls *metrics.Counter   // cycles an input stalled on storage-path backpressure
+	jsqPick         []*metrics.Counter // JSQ column-pick distribution (per tile column)
 }
 
 // routeLatch is the per-(input,VC) wormhole state holding the routing
@@ -77,6 +98,7 @@ type tile struct {
 	slotOcc  []uint16     // per-slot bitmask of non-empty streams
 	reqScr   []uint64     // scratch request masks
 	candScr  [][]uint8    // scratch candidate stream per (slot, out)
+	grants   *metrics.Counter
 }
 
 // muxLock serializes packets per output-buffer VC across the R column
@@ -130,6 +152,9 @@ type Switch struct {
 	track    []map[uint64]*e2eEntry // per end port
 
 	Counters Counters
+
+	m      switchMetrics
+	tracer *metrics.Tracer
 }
 
 // NewSwitch builds switch id under the shared configuration. Links are
@@ -285,10 +310,98 @@ func (s *Switch) BankConflicts() int64 {
 	return n
 }
 
+// EnableMetrics registers this switch's counters and gauges under scope
+// "sw<id>" (and per-tile "sw<id>.tile<r>.<c>" scopes) of the given
+// registry. A nil registry leaves all handles nil: the disabled fast path.
+// Call before the simulation starts; handles are resolved once.
+func (s *Switch) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	sc := reg.Scope(fmt.Sprintf("sw%d", s.ID))
+	s.m = switchMetrics{
+		cycles:          sc.Counter("cycles"),
+		svcFlits:        sc.Counter("svc.flits"),
+		rvcFlits:        sc.Counter("rvc.flits"),
+		colFlits:        sc.Counter("col.flits"),
+		creditStalls:    sc.Counter("credit.stall.cycles"),
+		holAbsorbed:     sc.Counter("hol.absorbed"),
+		stashStores:     sc.Counter("stash.stores"),
+		stashRetrieves:  sc.Counter("stash.retrieves"),
+		stashFullStalls: sc.Counter("stash.full.stalls"),
+		jsqPick:         make([]*metrics.Counter, s.cfg.Cols),
+	}
+	for c := range s.m.jsqPick {
+		s.m.jsqPick[c] = sc.Counter(fmt.Sprintf("jsq.pick.col%d", c))
+	}
+	// Column-bandwidth utilization: fraction of tile->column channel slots
+	// that carried a flit. The denominator is the aggregate column channel
+	// capacity (one flit per tile output per row per cycle).
+	m := s.m
+	colChans := float64(s.cfg.Rows * s.cfg.Cols * s.cfg.TileOut)
+	sc.Gauge("col.util", func() float64 {
+		cyc := m.cycles.Value()
+		if cyc == 0 {
+			return 0
+		}
+		return float64(m.colFlits.Value()) / (float64(cyc) * colChans)
+	})
+	sc.Gauge("stash.fill", func() float64 {
+		if cap := s.StashCapTotal(); cap > 0 {
+			return float64(s.StashUsed()) / float64(cap)
+		}
+		return 0
+	})
+	for ti := range s.tiles {
+		t := &s.tiles[ti]
+		t.grants = reg.Scope(fmt.Sprintf("sw%d.tile%d.%d", s.ID, t.row, t.col)).Counter("grants")
+	}
+}
+
+// SetTracer attaches (or, with nil, detaches) the packet-lifecycle tracer.
+func (s *Switch) SetTracer(t *metrics.Tracer) { s.tracer = t }
+
+// Busy reports whether any flit is resident anywhere inside the switch
+// (input buffers, tiles, column buffers, or output buffers). Used by the
+// stall watchdog to pick which switches to dump.
+func (s *Switch) Busy() bool {
+	for p := range s.in {
+		if s.in[p].buf.Used() > 0 {
+			return true
+		}
+	}
+	for t := range s.tiles {
+		if s.tiles[t].occupied > 0 {
+			return true
+		}
+	}
+	for p := range s.out {
+		if s.out[p].colOcc > 0 || s.out[p].buf.Used() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BufferFill returns the aggregate normal input- and output-buffer
+// occupancy and capacity in flits, for the occupancy sampler.
+func (s *Switch) BufferFill() (inUsed, inCap, outUsed, outCap int) {
+	for p := range s.in {
+		inUsed += s.in[p].buf.Used()
+		inCap += s.in[p].buf.Capacity()
+	}
+	for p := range s.out {
+		outUsed += s.out[p].buf.Used()
+		outCap += s.out[p].buf.Capacity()
+	}
+	return
+}
+
 // Step advances the switch one cycle. Stages run in reverse pipeline order
 // so a flit advances at most one stage per cycle; arrivals are folded in
 // last so flits that land at cycle t first compete for the row bus at t+1.
 func (s *Switch) Step(now sim.Tick) {
+	s.m.cycles.Inc()
 	s.stepSideband(now)
 	for p := range s.out {
 		s.stepOutput(now, &s.out[p])

@@ -81,7 +81,15 @@ func (s *Switch) stepTile(now sim.Tick, t *tile) {
 		if slot < 0 {
 			continue
 		}
+		t.grants.Inc()
+		s.m.colFlits.Inc()
 		stream := int(t.candScr[slot][o])
+		switch stream {
+		case proto.VCStore:
+			s.m.svcFlits.Inc()
+		case proto.VCRetrieve:
+			s.m.rvcFlits.Inc()
+		}
 		rb := &t.rowBufs[slot][stream]
 		f := rb.Pop()
 		if rb.Empty() {

@@ -69,6 +69,30 @@ func (c *Collector) Packet(now int64, class proto.Class, latency, flits int64) {
 	}
 }
 
+// Ack records one received end-to-end ACK.
+func (c *Collector) Ack() {
+	if !c.Enabled {
+		return
+	}
+	c.Acks++
+}
+
+// Error records one injected delivery error (NACKed packet).
+func (c *Collector) Error() {
+	if !c.Enabled {
+		return
+	}
+	c.Errors++
+}
+
+// WindowShrink records one ECN-driven window decrease.
+func (c *Collector) WindowShrink() {
+	if !c.Enabled {
+		return
+	}
+	c.WindowShrinks++
+}
+
 // Reset clears all measurements (optional sinks keep their configuration).
 func (c *Collector) Reset() {
 	for i := range c.LatAcc {

@@ -8,6 +8,7 @@ package endpoint
 import (
 	"stashsim/internal/buffer"
 	"stashsim/internal/core"
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 )
@@ -110,6 +111,15 @@ type Endpoint struct {
 	// SentFlits counts every flit injected (data and ACK), used by
 	// per-endpoint offered-load probes.
 	SentFlits int64
+
+	// RecvFlits counts every flit ejected at this endpoint. Unlike the
+	// collector it is never gated by warmup, so the stall watchdog can
+	// use it as an always-on progress signal.
+	RecvFlits int64
+
+	// Tracer, when non-nil, receives packet-lifecycle events (inject,
+	// eject, ack) from this endpoint.
+	Tracer *metrics.Tracer
 }
 
 // New builds endpoint id. Links and credits are attached by the network.
@@ -176,6 +186,7 @@ func (e *Endpoint) stepRecv(now sim.Tick) {
 		if !ok {
 			return
 		}
+		e.RecvFlits++
 		if f.Head() {
 			e.rxECN[f.VC] = f.Flags&proto.FlagECN != 0
 		}
@@ -191,10 +202,11 @@ func (e *Endpoint) stepRecv(now sim.Tick) {
 			// Error-injection extension: corrupt arrival, NACK it.
 			e.pushAck(now, &f, true)
 			if e.Collector != nil {
-				e.Collector.Errors++
+				e.Collector.Error()
 			}
 			continue
 		}
+		e.Tracer.Record(now, metrics.EvEject, f.PktID, e.ID, -1, f.Src, f.Dst)
 		if e.Collector != nil {
 			e.Collector.Packet(now, f.Class, now-f.Birth, int64(f.Size))
 		}
@@ -363,6 +375,7 @@ func (e *Endpoint) emit() proto.Flit {
 	}
 	if c.seq == 0 {
 		f.Flags |= proto.FlagHead
+		e.Tracer.Record(c.birth, metrics.EvInject, f.PktID, e.ID, -1, f.Src, f.Dst)
 	}
 	if c.seq == c.desc.size-1 {
 		f.Flags |= proto.FlagTail
@@ -375,8 +388,9 @@ func (e *Endpoint) emit() proto.Flit {
 
 // onAck settles the transmission window for the acknowledged destination.
 func (e *Endpoint) onAck(now sim.Tick, f *proto.Flit) {
+	e.Tracer.Record(now, metrics.EvAck, f.PktID, e.ID, -1, f.Src, f.Dst)
 	if e.Collector != nil {
-		e.Collector.Acks++
+		e.Collector.Ack()
 	}
 	if !e.cfg.ECN.Enabled {
 		return
@@ -397,7 +411,7 @@ func (e *Endpoint) onAck(now sim.Tick, f *proto.Flit) {
 		}
 		w.lastGrow = now
 		if e.Collector != nil {
-			e.Collector.WindowShrinks++
+			e.Collector.WindowShrink()
 		}
 	}
 }

@@ -317,21 +317,72 @@ func TestLatencyRecorded(t *testing.T) {
 }
 
 func TestCollectorGating(t *testing.T) {
-	c := NewCollector()
+	c := NewCollector().WithHist(proto.ClassDefault)
+	c.WithSeries(proto.ClassDefault, 100)
 	c.Enabled = false
 	c.Packet(10, proto.ClassDefault, 5, 24)
 	c.Offered(proto.ClassDefault, 24)
+	c.Ack()
+	c.Error()
+	c.WindowShrink()
 	if c.TotalDeliveredFlits() != 0 || c.TotalOfferedFlits() != 0 {
-		t.Fatal("disabled collector recorded")
+		t.Fatal("disabled collector recorded flits")
+	}
+	if c.LatAcc[proto.ClassDefault].N != 0 {
+		t.Fatal("disabled collector recorded latency")
+	}
+	if c.LatHist[proto.ClassDefault].N() != 0 {
+		t.Fatal("disabled collector recorded histogram sample")
+	}
+	if ts, _ := c.Series[proto.ClassDefault].Means(); len(ts) != 0 {
+		t.Fatal("disabled collector recorded time-series sample")
+	}
+	if c.Acks != 0 || c.Errors != 0 || c.WindowShrinks != 0 {
+		t.Fatalf("disabled collector recorded events: acks=%d errors=%d shrinks=%d",
+			c.Acks, c.Errors, c.WindowShrinks)
 	}
 	c.Enabled = true
 	c.Packet(10, proto.ClassDefault, 5, 24)
+	c.Ack()
+	c.Error()
+	c.WindowShrink()
 	if c.TotalDeliveredFlits() != 24 {
 		t.Fatal("enabled collector did not record")
 	}
+	if c.LatHist[proto.ClassDefault].N() != 1 {
+		t.Fatal("enabled collector did not record histogram sample")
+	}
+	if c.Acks != 1 || c.Errors != 1 || c.WindowShrinks != 1 {
+		t.Fatal("enabled collector did not record events")
+	}
 	c.Reset()
-	if c.TotalDeliveredFlits() != 0 {
+	if c.TotalDeliveredFlits() != 0 || c.Acks != 0 {
 		t.Fatal("reset did not clear")
+	}
+	if c.LatHist[proto.ClassDefault] == nil || c.Series[proto.ClassDefault] == nil {
+		t.Fatal("reset dropped optional sink configuration")
+	}
+}
+
+// TestCollectorWarmupGating drives the gate through the endpoint itself:
+// a delivery while Enabled=false (warmup) must leave no trace in any sink.
+func TestCollectorWarmupGating(t *testing.T) {
+	h := newHarness(t, nil)
+	h.ep.Collector.WithHist(proto.ClassVictim)
+	h.ep.Collector.Enabled = false
+	data := proto.Flit{
+		Src: 9, Dst: 3, PktID: proto.MakePktID(9, 7), Size: 1, Birth: 100,
+		Kind: proto.Data, Flags: proto.FlagHead | proto.FlagTail, Class: proto.ClassVictim,
+	}
+	h.fromSw.SendFlit(499, data)
+	h.ep.Step(500)
+	c := h.ep.Collector
+	if c.LatAcc[proto.ClassVictim].N != 0 || c.LatHist[proto.ClassVictim].N() != 0 ||
+		c.DeliveredPkts[proto.ClassVictim] != 0 {
+		t.Fatal("warmup delivery was recorded")
+	}
+	if h.ep.RecvFlits != 1 {
+		t.Fatalf("RecvFlits = %d, want 1 (watchdog progress signal must not be gated)", h.ep.RecvFlits)
 	}
 }
 

@@ -46,6 +46,7 @@ func Fig6(o *Options) (*stats.Table, error) {
 		for i, v := range e2eVariants() {
 			cfg := o.netConfig(v.mode, v.capFrac, false)
 			n := mustNet(cfg)
+			o.watchNet(n, budget/4)
 			rp, err := trace.NewReplay(tr, n, 0)
 			if err != nil {
 				return nil, err

@@ -78,6 +78,17 @@ func (o *Options) writeCSV(name string, t *stats.Table) error {
 	return os.WriteFile(filepath.Join(o.OutDir, name+".csv"), []byte(t.CSV()), 0o644)
 }
 
+// watchNet attaches a stall watchdog to an experiment network: a
+// zero-delivery window of `window` cycles dumps every non-idle switch to
+// stderr, so a deadlocked run is diagnosable instead of silently spinning
+// until its budget runs out.
+func (o *Options) watchNet(n *network.Network, window int64) {
+	if window <= 0 {
+		return
+	}
+	n.AttachWatchdog(window, os.Stderr)
+}
+
 // netConfig derives one of the experiment network variants from the base
 // configuration.
 func (o *Options) netConfig(mode core.StashMode, capFrac float64, ecn bool) *core.Config {

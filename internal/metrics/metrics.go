@@ -1,0 +1,260 @@
+// Package metrics is the switch-level observability subsystem: a
+// zero-dependency registry of named counters, gauges and histograms with
+// per-switch and per-tile scopes, a fixed-interval occupancy sampler, an
+// opt-in ring-buffered packet-lifecycle tracer, and a stall watchdog.
+//
+// The registry is designed to stay compiled into the hot path: every
+// handle method is safe on a nil receiver and a nil handle is a single
+// predictable branch, so instrumentation sites need no build tags and the
+// disabled path (the default) performs no allocations and no map lookups.
+// Handles are resolved once at wiring time; increments are plain int64
+// adds. Each scope is owned by the component that registered it — the
+// simulator steps one switch on one goroutine — so increments need no
+// atomics; cross-scope reads (tables, snapshots) happen after a run.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stashsim/internal/stats"
+)
+
+// Counter is a monotonically increasing int64. The zero value is usable;
+// a nil *Counter is a no-op handle (the disabled fast path).
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Hist is a histogram handle wrapping stats.Hist; a nil *Hist is a no-op.
+type Hist struct{ h stats.Hist }
+
+// Observe records one observation.
+func (h *Hist) Observe(v int64) {
+	if h != nil {
+		h.h.Add(v)
+	}
+}
+
+// Snapshot exposes the underlying histogram (nil for a nil handle).
+func (h *Hist) Snapshot() *stats.Hist {
+	if h == nil {
+		return nil
+	}
+	return &h.h
+}
+
+// Scope is a named namespace of metrics (one per switch, one per tile).
+// A nil *Scope hands out nil handles, so a component wired without a
+// registry carries nil handles end to end.
+type Scope struct {
+	name     string
+	reg      *Registry
+	counters map[string]*Counter
+	corder   []string
+	gauges   map[string]func() float64
+	gorder   []string
+	hists    map[string]*Hist
+	horder   []string
+}
+
+// Counter returns (creating on first use) the named counter handle.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+		s.corder = append(s.corder, name)
+	}
+	return c
+}
+
+// Gauge registers a gauge evaluated lazily at snapshot time. Re-registering
+// a name replaces the previous function.
+func (s *Scope) Gauge(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if _, ok := s.gauges[name]; !ok {
+		s.gorder = append(s.gorder, name)
+	}
+	s.gauges[name] = fn
+}
+
+// Hist returns (creating on first use) the named histogram handle.
+func (s *Scope) Hist(name string) *Hist {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Hist{}
+		s.hists[name] = h
+		s.horder = append(s.horder, name)
+	}
+	return h
+}
+
+// Registry holds all scopes of one simulation run. A nil *Registry hands
+// out nil scopes: the entire instrumentation tree degrades to no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+	sorder []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns (creating on first use) the named scope.
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scopes[name]
+	if s == nil {
+		s = &Scope{
+			name:     name,
+			reg:      r,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]func() float64),
+			hists:    make(map[string]*Hist),
+		}
+		r.scopes[name] = s
+		r.sorder = append(r.sorder, name)
+	}
+	return s
+}
+
+// Each visits every counter and gauge as (scope, metric, value), scopes in
+// registration order, metrics in registration order within a scope.
+func (r *Registry) Each(fn func(scope, name string, value float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sn := range r.sorder {
+		s := r.scopes[sn]
+		for _, cn := range s.corder {
+			fn(sn, cn, float64(s.counters[cn].v))
+		}
+		for _, gn := range s.gorder {
+			fn(sn, gn, s.gauges[gn]())
+		}
+	}
+}
+
+// Totals sums every counter by metric name across all scopes (the
+// network-wide view), returned with sorted names.
+func (r *Registry) Totals() (names []string, values []int64) {
+	if r == nil {
+		return nil, nil
+	}
+	sums := make(map[string]int64)
+	r.mu.Lock()
+	for _, s := range r.scopes {
+		for n, c := range s.counters {
+			sums[n] += c.v
+		}
+	}
+	r.mu.Unlock()
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		values = append(values, sums[n])
+	}
+	return names, values
+}
+
+// Sum returns the total of one counter name across all scopes.
+func (r *Registry) Sum(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	var total int64
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.scopes {
+		if c, ok := s.counters[name]; ok {
+			total += c.v
+		}
+	}
+	return total
+}
+
+// Table renders every metric as a (scope, metric, value) table. Gauges are
+// formatted with 4 decimal places, counters as integers; histogram handles
+// contribute count/mean/p99 summary rows.
+func (r *Registry) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"scope", "metric", "value"}}
+	if r == nil {
+		return t
+	}
+	r.Each(func(scope, name string, v float64) {
+		if v == float64(int64(v)) {
+			t.AddRow(scope, name, fmt.Sprintf("%d", int64(v)))
+		} else {
+			t.AddRow(scope, name, fmt.Sprintf("%.4f", v))
+		}
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sn := range r.sorder {
+		s := r.scopes[sn]
+		for _, hn := range s.horder {
+			h := &s.hists[hn].h
+			t.AddRow(sn, hn+".count", fmt.Sprintf("%d", h.N()))
+			t.AddRow(sn, hn+".mean", fmt.Sprintf("%.2f", h.Mean()))
+			t.AddRow(sn, hn+".p99", fmt.Sprintf("%d", h.Percentile(99)))
+		}
+	}
+	return t
+}
+
+// TotalsTable renders the cross-scope counter sums (the compact view the
+// CLI prints by default).
+func (r *Registry) TotalsTable() *stats.Table {
+	t := &stats.Table{Header: []string{"metric", "total"}}
+	names, values := r.Totals()
+	for i, n := range names {
+		t.AddRow(n, fmt.Sprintf("%d", values[i]))
+	}
+	return t
+}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCountersGaugesHists(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("sw0")
+	c := sc.Counter("stash.stores")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	if c2 := sc.Counter("stash.stores"); c2 != c {
+		t.Fatal("re-resolving a counter must return the same handle")
+	}
+	sc.Gauge("fill", func() float64 { return 0.25 })
+	h := sc.Hist("lat")
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Snapshot().N(); got != 2 {
+		t.Fatalf("hist N = %d, want 2", got)
+	}
+
+	reg.Scope("sw1").Counter("stash.stores").Add(7)
+	if got := reg.Sum("stash.stores"); got != 12 {
+		t.Fatalf("Sum = %d, want 12", got)
+	}
+	names, values := reg.Totals()
+	if len(names) != 1 || names[0] != "stash.stores" || values[0] != 12 {
+		t.Fatalf("Totals = %v %v", names, values)
+	}
+
+	var sawGauge, sawCounter bool
+	reg.Each(func(scope, name string, v float64) {
+		if scope == "sw0" && name == "fill" && v == 0.25 {
+			sawGauge = true
+		}
+		if scope == "sw0" && name == "stash.stores" && v == 5 {
+			sawCounter = true
+		}
+	})
+	if !sawGauge || !sawCounter {
+		t.Fatalf("Each missed entries: gauge=%v counter=%v", sawGauge, sawCounter)
+	}
+	tbl := reg.Table()
+	if len(tbl.Rows) == 0 {
+		t.Fatal("Table returned no rows")
+	}
+}
+
+// TestNilFastPathNoAllocs asserts the disabled (nil-handle) observability
+// path performs zero allocations: this is the benchmark guard's invariant
+// that leaving the instrumentation compiled in is free by default.
+func TestNilFastPathNoAllocs(t *testing.T) {
+	var reg *Registry
+	var c *Counter
+	var h *Hist
+	var tr *Tracer
+	var sp *Sampler
+	var wd *Watchdog
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		_ = c.Value()
+		h.Observe(5)
+		tr.Record(1, EvInject, 42, 0, -1, 1, 2)
+		sp.MaybeSample(1000)
+		wd.Observe(1000)
+		_ = reg.Scope("sw0").Counter("x") // nil registry -> nil scope -> nil handle
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int64(0); i < 6; i++ {
+		tr.Record(i, EvRoute, uint64(i), 0, 0, 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(i) + 2; ev.Time != want {
+			t.Fatalf("event %d time = %d, want %d (oldest evicted first)", i, ev.Time, want)
+		}
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+}
+
+func TestTracerJSONLValid(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(5, EvInject, 0xab00000001, 3, -1, 3, 9)
+	tr.Record(9, EvRoute, 0xab00000001, 1, 4, 3, 9)
+	tr.Record(30, EvEject, 0xab00000001, 9, -1, 3, 9)
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var rec struct {
+			T    int64  `json:"t"`
+			Ev   string `json:"ev"`
+			Pkt  string `json:"pkt"`
+			Node int32  `json:"node"`
+			Aux  int32  `json:"aux"`
+			Src  int32  `json:"src"`
+			Dst  int32  `json:"dst"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Pkt != "ab00000001" {
+			t.Fatalf("line %d pkt = %q", i, rec.Pkt)
+		}
+	}
+	if got := lines[0]; !strings.Contains(got, `"ev":"inject"`) {
+		t.Fatalf("first line missing inject event: %s", got)
+	}
+}
+
+func TestTracerChromeTraceValid(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(5, EvInject, 7, 3, -1, 3, 9)
+	tr.Record(9, EvRoute, 7, 1, 4, 3, 9)
+	tr.Record(12, EvStashStore, 7, 1, 2, 3, 9)
+	tr.Record(30, EvEject, 7, 9, -1, 3, 9)
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var begins, ends, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "i":
+			instants++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("async span begin/end = %d/%d, want 1/1", begins, ends)
+	}
+	if instants != 4 {
+		t.Fatalf("instant events = %d, want 4", instants)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	sp := NewSampler(5)
+	v := 0.0
+	sp.Probe("fill", func() float64 { return v })
+	sp.Probe("backlog", func() float64 { return 2 * v })
+	for now := int64(0); now <= 10; now++ {
+		v = float64(now)
+		sp.MaybeSample(now)
+	}
+	ts := sp.Series("fill")
+	if ts == nil {
+		t.Fatal("Series(fill) = nil")
+	}
+	times, vals := ts.Means()
+	if len(times) != 3 || vals[0] != 0 || vals[1] != 5 || vals[2] != 10 {
+		t.Fatalf("fill samples = %v %v, want [0 5 10] at [0 5 10]", times, vals)
+	}
+	tbl := sp.Table()
+	if len(tbl.Header) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("table %d cols x %d rows, want 3x3", len(tbl.Header), len(tbl.Rows))
+	}
+	if !strings.Contains(sp.CSV(), "cycle,fill,backlog") {
+		t.Fatalf("CSV header missing: %s", sp.CSV())
+	}
+	if sp.Series("nope") != nil {
+		t.Fatal("unknown probe must return nil series")
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	delivered := int64(0)
+	pending := true
+	var out strings.Builder
+	dumped := 0
+
+	// Progressing traffic: no stall.
+	wd2 := &Watchdog{
+		Window:    100,
+		Out:       &out,
+		Delivered: func() int64 { return delivered },
+		Pending:   func() bool { return pending },
+		Dump:      func(w io.Writer) { dumped++ },
+	}
+	for now := int64(0); now <= 1000; now++ {
+		if now%10 == 0 {
+			delivered++
+		}
+		wd2.Observe(now)
+	}
+	if wd2.Stalls != 0 {
+		t.Fatalf("progressing run produced %d stalls, want 0", wd2.Stalls)
+	}
+
+	// Frozen deliveries with pending work: stalls fire and dump.
+	for now := int64(1001); now <= 1500; now++ {
+		wd2.Observe(now)
+	}
+	if wd2.Stalls == 0 {
+		t.Fatal("frozen run produced no stalls")
+	}
+	if !strings.Contains(out.String(), "watchdog: no deliveries") {
+		t.Fatalf("stall dump missing header: %q", out.String())
+	}
+	if dumped == 0 {
+		t.Fatal("stall did not invoke Dump")
+	}
+	if int64(dumped) > wd2.Stalls {
+		t.Fatalf("dumped %d times for %d stalls", dumped, wd2.Stalls)
+	}
+
+	// Nothing pending: an idle network is not a stall.
+	pending = false
+	idle := &Watchdog{Window: 100, Delivered: func() int64 { return delivered }, Pending: func() bool { return pending }}
+	for now := int64(0); now <= 1000; now++ {
+		idle.Observe(now)
+	}
+	if idle.Stalls != 0 {
+		t.Fatalf("idle run produced %d stalls, want 0", idle.Stalls)
+	}
+}

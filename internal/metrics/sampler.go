@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+
+	"stashsim/internal/stats"
+)
+
+// Sampler polls a set of named probes at a fixed cycle interval from the
+// simulation loop, accumulating each probe into a stats.TimeSeries. A nil
+// *Sampler is a no-op, so the poll site can stay unconditional. Probes
+// are registered before the run; MaybeSample is called once per cycle by
+// the driving loop (single-threaded).
+type Sampler struct {
+	every  int64
+	names  []string
+	fns    []func() float64
+	series []*stats.TimeSeries
+}
+
+// NewSampler returns a sampler firing every `every` cycles (every <= 0
+// panics: a zero interval would sample every Step).
+func NewSampler(every int64) *Sampler {
+	if every <= 0 {
+		panic("metrics: non-positive sampling interval")
+	}
+	return &Sampler{every: every}
+}
+
+// Every returns the sampling interval in cycles.
+func (s *Sampler) Every() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// Probe registers one named probe function.
+func (s *Sampler) Probe(name string, fn func() float64) {
+	s.names = append(s.names, name)
+	s.fns = append(s.fns, fn)
+	s.series = append(s.series, stats.NewTimeSeries(s.every))
+}
+
+// MaybeSample polls every probe when now falls on the sampling interval.
+func (s *Sampler) MaybeSample(now int64) {
+	if s == nil || now%s.every != 0 {
+		return
+	}
+	for i, fn := range s.fns {
+		s.series[i].Add(now, fn())
+	}
+}
+
+// Series returns the time series of the named probe, or nil.
+func (s *Sampler) Series(name string) *stats.TimeSeries {
+	if s == nil {
+		return nil
+	}
+	for i, n := range s.names {
+		if n == name {
+			return s.series[i]
+		}
+	}
+	return nil
+}
+
+// Table renders all probes as one table with a shared cycle column; bins
+// a probe missed (registered late) render as empty cells.
+func (s *Sampler) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"cycle"}}
+	if s == nil {
+		return t
+	}
+	t.Header = append(t.Header, s.names...)
+	maxBins := 0
+	for _, ts := range s.series {
+		if n := len(ts.Bins()); n > maxBins {
+			maxBins = n
+		}
+	}
+	for b := 0; b < maxBins; b++ {
+		row := []string{fmt.Sprintf("%d", int64(b)*s.every)}
+		keep := false
+		for _, ts := range s.series {
+			bins := ts.Bins()
+			if b < len(bins) && bins[b].N > 0 {
+				row = append(row, fmt.Sprintf("%.4f", bins[b].Mean()))
+				keep = true
+			} else {
+				row = append(row, "")
+			}
+		}
+		if keep {
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// CSV renders the sample table as RFC 4180 CSV.
+func (s *Sampler) CSV() string { return s.Table().CSV() }

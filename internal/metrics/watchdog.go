@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Watchdog detects zero-delivery windows: if a full Window of cycles
+// passes in which the network delivered nothing while work was pending,
+// it writes a diagnostic dump of every non-idle component instead of
+// letting the simulation spin silently. It is polled once per cycle by
+// the driving loop and does real work only at window boundaries. A nil
+// *Watchdog is a no-op.
+type Watchdog struct {
+	// Window is the stall-detection window in cycles.
+	Window int64
+	// Out receives the diagnostic dumps.
+	Out io.Writer
+	// Delivered returns a monotone count of delivered flits/packets. It
+	// must advance whenever traffic makes end-to-end progress, and must
+	// not be gated by measurement warmup.
+	Delivered func() int64
+	// Pending reports whether undelivered work exists (queued or
+	// in-flight). A quiet network with nothing pending is not a stall.
+	Pending func() bool
+	// Dump writes the per-component diagnostic state (e.g. DumpState of
+	// every non-idle switch).
+	Dump func(w io.Writer)
+	// MaxDumps bounds how many stall dumps are written (0 = 3).
+	MaxDumps int
+
+	windowStart   int64
+	started       bool
+	lastDelivered int64
+	// Stalls counts detected zero-delivery windows.
+	Stalls int64
+}
+
+// Observe advances the watchdog to cycle now.
+func (w *Watchdog) Observe(now int64) {
+	if w == nil {
+		return
+	}
+	if !w.started {
+		w.started = true
+		w.windowStart = now
+		w.lastDelivered = w.Delivered()
+		return
+	}
+	if now-w.windowStart < w.Window {
+		return
+	}
+	d := w.Delivered()
+	if d == w.lastDelivered && w.Pending != nil && w.Pending() {
+		w.Stalls++
+		max := w.MaxDumps
+		if max == 0 {
+			max = 3
+		}
+		if w.Out != nil && w.Stalls <= int64(max) {
+			fmt.Fprintf(w.Out, "watchdog: no deliveries in %d cycles at cycle %d with work pending (stall #%d); non-idle state:\n",
+				w.Window, now, w.Stalls)
+			if w.Dump != nil {
+				w.Dump(w.Out)
+			}
+		}
+	}
+	w.lastDelivered = d
+	w.windowStart = now
+}

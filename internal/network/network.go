@@ -5,9 +5,11 @@ package network
 
 import (
 	"fmt"
+	"io"
 
 	"stashsim/internal/core"
 	"stashsim/internal/endpoint"
+	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
 	"stashsim/internal/topo"
@@ -19,6 +21,14 @@ type Network struct {
 	Switches  []*core.Switch
 	Endpoints []*endpoint.Endpoint
 	Collector *endpoint.Collector
+
+	// Observability sinks; all nil (disabled) by default. See the
+	// EnableMetrics/EnableTracing/AttachSampler/AttachWatchdog wiring
+	// helpers.
+	Metrics  *metrics.Registry
+	Tracer   *metrics.Tracer
+	Sampler  *metrics.Sampler
+	Watchdog *metrics.Watchdog
 
 	Now sim.Tick
 }
@@ -69,6 +79,115 @@ func New(cfg *core.Config) (*Network, error) {
 	return n, nil
 }
 
+// EnableMetrics registers every switch's counters and gauges in reg and
+// remembers it on the network. Call before the run; pass the registry to
+// later reporting. A nil registry is a no-op.
+func (n *Network) EnableMetrics(reg *metrics.Registry) {
+	n.Metrics = reg
+	for _, s := range n.Switches {
+		s.EnableMetrics(reg)
+	}
+}
+
+// EnableTracing attaches the packet-lifecycle tracer to every switch and
+// endpoint. A nil tracer detaches.
+func (n *Network) EnableTracing(tr *metrics.Tracer) {
+	n.Tracer = tr
+	for _, s := range n.Switches {
+		s.SetTracer(tr)
+	}
+	for _, ep := range n.Endpoints {
+		ep.Tracer = tr
+	}
+}
+
+// AttachSampler installs an occupancy sampler polled every `every` cycles
+// with the standard network probes: network-wide stash fill, normal
+// input/output buffer fill, and the endpoint injection backlog (flits).
+func (n *Network) AttachSampler(every int64) *metrics.Sampler {
+	sp := metrics.NewSampler(every)
+	sp.Probe("stash.fill", func() float64 {
+		used, cap := 0, 0
+		for _, s := range n.Switches {
+			used += s.StashUsed()
+			cap += s.StashCapTotal()
+		}
+		if cap == 0 {
+			return 0
+		}
+		return float64(used) / float64(cap)
+	})
+	sp.Probe("in.buf.fill", func() float64 {
+		used, cap := 0, 0
+		for _, s := range n.Switches {
+			u, c, _, _ := s.BufferFill()
+			used += u
+			cap += c
+		}
+		if cap == 0 {
+			return 0
+		}
+		return float64(used) / float64(cap)
+	})
+	sp.Probe("out.buf.fill", func() float64 {
+		used, cap := 0, 0
+		for _, s := range n.Switches {
+			_, _, u, c := s.BufferFill()
+			used += u
+			cap += c
+		}
+		if cap == 0 {
+			return 0
+		}
+		return float64(used) / float64(cap)
+	})
+	sp.Probe("inject.backlog", func() float64 {
+		return float64(n.TotalQueuedFlits())
+	})
+	n.Sampler = sp
+	return sp
+}
+
+// AttachWatchdog installs a stall watchdog: if window cycles pass with no
+// flit delivered at any endpoint while work is pending, it dumps the state
+// of every non-idle switch to out instead of spinning silently.
+func (n *Network) AttachWatchdog(window int64, out io.Writer) *metrics.Watchdog {
+	w := &metrics.Watchdog{
+		Window: window,
+		Out:    out,
+		Delivered: func() int64 {
+			var total int64
+			for _, ep := range n.Endpoints {
+				total += ep.RecvFlits
+			}
+			return total
+		},
+		Pending: func() bool {
+			if n.TotalQueuedFlits() > 0 {
+				return true
+			}
+			for _, s := range n.Switches {
+				if s.Busy() {
+					return true
+				}
+			}
+			return false
+		},
+		Dump: n.DumpNonIdle,
+	}
+	n.Watchdog = w
+	return w
+}
+
+// DumpNonIdle writes DumpState for every switch still holding flits.
+func (n *Network) DumpNonIdle(w io.Writer) {
+	for _, s := range n.Switches {
+		if s.Busy() {
+			io.WriteString(w, s.DumpState())
+		}
+	}
+}
+
 // Step advances the whole network one cycle.
 func (n *Network) Step() {
 	now := n.Now
@@ -78,6 +197,8 @@ func (n *Network) Step() {
 	for _, s := range n.Switches {
 		s.Step(now)
 	}
+	n.Sampler.MaybeSample(now)
+	n.Watchdog.Observe(now)
 	n.Now++
 }
 
@@ -170,6 +291,7 @@ func (n *Network) Counters() core.Counters {
 		c.SidebandMsgs += sc.SidebandMsgs
 		c.CongStashed += sc.CongStashed
 		c.CongStashedVict += sc.CongStashedVict
+		c.HoLAbsorbed += sc.HoLAbsorbed
 	}
 	return c
 }

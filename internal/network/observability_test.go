@@ -1,0 +1,162 @@
+package network
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stashsim/internal/core"
+	"stashsim/internal/metrics"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/traffic"
+)
+
+// TestObservabilityEndToEnd runs a tiny e2e-mode network with the full
+// observability stack attached and checks that every sink captures what the
+// legacy counters say happened.
+func TestObservabilityEndToEnd(t *testing.T) {
+	cfg := core.TinyConfig()
+	cfg.Mode = core.StashE2E
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	n.EnableMetrics(reg)
+	tr := metrics.NewTracer(1 << 14)
+	n.EnableTracing(tr)
+	n.AttachSampler(500)
+
+	rng := sim.NewRNG(42)
+	rate := n.ChannelRate()
+	for _, ep := range n.Endpoints {
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			0.2, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+	}
+	n.Run(20000)
+	if err := n.SanityCheck(); err != nil {
+		t.Fatalf("sanity: %v", err)
+	}
+
+	// Registry totals must mirror the legacy switch counters.
+	cnt := n.Counters()
+	if cnt.StashStores == 0 {
+		t.Fatal("e2e run stashed nothing; test is vacuous")
+	}
+	if got := reg.Sum("stash.stores"); got != cnt.StashStores {
+		t.Fatalf("registry stash.stores = %d, legacy counter = %d", got, cnt.StashStores)
+	}
+	if got := reg.Sum("svc.flits"); got == 0 {
+		t.Fatal("no S-VC flit traversals recorded")
+	}
+	if got := reg.Sum("cycles"); got == 0 {
+		t.Fatal("no cycles counted")
+	}
+
+	// Tracer must have seen the packet lifecycle ends.
+	var sawInject, sawEject, sawStore bool
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case metrics.EvInject:
+			sawInject = true
+		case metrics.EvEject:
+			sawEject = true
+		case metrics.EvStashStore:
+			sawStore = true
+		}
+	}
+	if !sawInject || !sawEject || !sawStore {
+		t.Fatalf("tracer missing lifecycle events: inject=%v eject=%v store=%v",
+			sawInject, sawEject, sawStore)
+	}
+
+	// Sampler must have produced rows and a parseable CSV.
+	csv := n.Sampler.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("sampler CSV has no data rows:\n%s", csv)
+	}
+	if !strings.HasPrefix(lines[0], "cycle,") {
+		t.Fatalf("sampler CSV header: %q", lines[0])
+	}
+	if n.Sampler.Series("stash.fill") == nil {
+		t.Fatal("sampler missing stash.fill probe")
+	}
+
+	// The trace must survive a round trip through both export formats.
+	var jb strings.Builder
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(jb.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("JSONL line %d invalid: %s", i, line)
+		}
+	}
+	var cb strings.Builder
+	if err := tr.WriteChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(cb.String())) {
+		t.Fatal("chrome trace is not valid JSON")
+	}
+}
+
+// TestObservabilityDisabledIdentical verifies that attaching no sinks leaves
+// simulation results bit-identical to a run that never imported them — i.e.
+// the nil fast path cannot perturb outcomes.
+func TestObservabilityDisabledIdentical(t *testing.T) {
+	run := func(observe bool) *Network {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			n.EnableMetrics(metrics.NewRegistry())
+			n.EnableTracing(metrics.NewTracer(1 << 12))
+			n.AttachSampler(1000)
+		}
+		rng := sim.NewRNG(7)
+		rate := n.ChannelRate()
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				0.25, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Run(8000)
+		return n
+	}
+	plain, observed := run(false), run(true)
+	if plain.Counters() != observed.Counters() {
+		t.Fatalf("observability changed simulation outcome:\n%+v\n%+v",
+			plain.Counters(), observed.Counters())
+	}
+	if plain.Collector.TotalDeliveredFlits() != observed.Collector.TotalDeliveredFlits() {
+		t.Fatal("delivered flits diverged with observability attached")
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun attaches the watchdog to a healthy run and
+// requires zero false positives.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := core.TinyConfig()
+	cfg.Mode = core.StashE2E
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n.AttachWatchdog(2000, &out)
+	rng := sim.NewRNG(3)
+	rate := n.ChannelRate()
+	for _, ep := range n.Endpoints {
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			0.2, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+	}
+	n.Run(20000)
+	if n.Watchdog.Stalls != 0 {
+		t.Fatalf("healthy run raised %d watchdog stalls:\n%s", n.Watchdog.Stalls, out.String())
+	}
+}

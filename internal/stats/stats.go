@@ -260,14 +260,31 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// csvCell escapes one CSV cell per RFC 4180: cells containing commas,
+// quotes, or newlines are quoted, with embedded quotes doubled.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvCell(c))
+	}
+	b.WriteByte('\n')
+}
+
+// CSV renders the table as RFC 4180 comma-separated values.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
+	writeCSVRow(&b, t.Header)
 	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
-		b.WriteByte('\n')
+		writeCSVRow(&b, r)
 	}
 	return b.String()
 }

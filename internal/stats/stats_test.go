@@ -207,6 +207,61 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestHistPercentileSingleObservation(t *testing.T) {
+	h := &Hist{}
+	h.Add(42)
+	for _, p := range []float64{0.001, 0.5, 1, 50, 99, 99.999, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("Percentile(%v) of single observation = %d, want 42", p, got)
+		}
+	}
+}
+
+func TestHistPercentileExtremes(t *testing.T) {
+	h := &Hist{}
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	// p near 0 must land on the minimum: any positive p needs at least one
+	// observation (target is clamped to 1).
+	if got := h.Percentile(0.0001); got != 1 {
+		t.Fatalf("Percentile(0.0001) = %d, want 1", got)
+	}
+	// p = 100 must cover the maximum (within bucket resolution, exact for
+	// values below 2^subBucketBits... 100 > 32, allow bucket low bound).
+	got := h.Percentile(100)
+	if got < 96 || got > 100 {
+		t.Fatalf("Percentile(100) = %d, want the top bucket (96..100)", got)
+	}
+	// p just under 100 must not exceed p = 100.
+	if a, b := h.Percentile(99.999), h.Percentile(100); a > b {
+		t.Fatalf("Percentile(99.999)=%d > Percentile(100)=%d", a, b)
+	}
+	if h.Percentile(50) > h.Percentile(90) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistPercentileEmpty(t *testing.T) {
+	h := &Hist{}
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("Percentile on empty hist = %d, want 0", got)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{Header: []string{"label", "note"}}
+	tab.AddRow("Stash 100% Cap., e2e", `say "hi"`)
+	tab.AddRow("plain", "line\nbreak")
+	csv := tab.CSV()
+	want := "label,note\n" +
+		"\"Stash 100% Cap., e2e\",\"say \"\"hi\"\"\"\n" +
+		"plain,\"line\nbreak\"\n"
+	if csv != want {
+		t.Fatalf("CSV quoting:\n got %q\nwant %q", csv, want)
+	}
+}
+
 func TestQuantilesExact(t *testing.T) {
 	q := Quantiles([]float64{5, 1, 3, 2, 4}, 0.2, 0.5, 1.0)
 	if q[0] != 1 || q[1] != 3 || q[2] != 5 {
