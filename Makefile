@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench figures figures-paper examples clean
+.PHONY: all build test vet lint race bench figures figures-paper examples clean
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the stashlint analyzers machine-check
+# the determinism, nil-safety and panic-style contracts (see DESIGN.md,
+# "Correctness tooling"). Suppress a finding with
+# `//lint:allow <analyzer> -- reason`.
+lint:
+	$(GO) run ./cmd/stashlint ./...
 
 test:
 	$(GO) test ./...

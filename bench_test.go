@@ -260,6 +260,38 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	b.Run("enabled", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkInvariantOverhead quantifies the runtime invariant checker: the
+// same tiny e2e run with no checker, with the default sparse audit (every
+// 64 cycles, the -invariants default), and with a per-cycle audit (the
+// setting the corruption tests use). EXPERIMENTS.md records the deltas.
+func BenchmarkInvariantOverhead(b *testing.B) {
+	run := func(b *testing.B, every int64) {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if every > 0 {
+			n.EnableInvariants(every)
+		}
+		rng := sim.NewRNG(11)
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				0.3, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Run(2000) // warm up: steady state, all buffers/pools allocated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Run(100)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("every64", func(b *testing.B) { run(b, 64) })
+	b.Run("every1", func(b *testing.B) { run(b, 1) })
+}
+
 // TestMetricsDisabledAllocFree is the hard form of the benchmark guard: a
 // steady-state simulation step with no observability attached must not
 // allocate at all, so the disabled path cannot regress silently.

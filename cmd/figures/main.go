@@ -51,6 +51,8 @@ func main() {
 	out := flag.String("out", "", "directory for CSV output")
 	quick := flag.Bool("quick", false, "shortened runs (smoke test)")
 	seed := flag.Uint64("seed", 1, "master random seed")
+	invariants := flag.Bool("invariants", false, "audit runtime conservation invariants during the runs")
+	invariantsEvery := flag.Int64("invariants-every", 64, "invariant audit interval in cycles")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -81,10 +83,12 @@ func main() {
 	}
 
 	o := &harness.Options{
-		Preset: *preset,
-		OutDir: *out,
-		Quick:  *quick,
-		Seed:   *seed,
+		Preset:          *preset,
+		OutDir:          *out,
+		Quick:           *quick,
+		Seed:            *seed,
+		Invariants:      *invariants,
+		InvariantsEvery: *invariantsEvery,
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
@@ -103,11 +107,12 @@ func main() {
 		if !all && !want[name] {
 			return
 		}
-		start := time.Now()
+		start := time.Now() //lint:allow determinism -- wall-clock progress logging only
 		if err := f(); err != nil {
 			log.Printf("%s FAILED: %v", name, err)
 			os.Exit(1)
 		}
+		//lint:allow determinism -- wall-clock progress logging only
 		log.Printf("%s done in %v", name, time.Since(start).Round(time.Second))
 	}
 

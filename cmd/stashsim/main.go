@@ -12,8 +12,9 @@
 // -trace/-trace-chrome export the packet-lifecycle ring buffer as JSONL
 // and Chrome trace_event JSON, -sample-every writes fixed-interval
 // occupancy samples as CSV, -watchdog dumps non-idle switch state on
-// zero-delivery windows, and -json emits a machine-readable run summary
-// on stdout (human-readable output moves to stderr).
+// zero-delivery windows, -invariants audits the conservation laws during
+// the run, and -json emits a machine-readable run summary on stdout
+// (human-readable output moves to stderr).
 package main
 
 import (
@@ -27,11 +28,6 @@ import (
 
 	"stashsim/internal/core"
 	"stashsim/internal/metrics"
-	"stashsim/internal/network"
-	"stashsim/internal/proto"
-	"stashsim/internal/sim"
-	"stashsim/internal/topo"
-	"stashsim/internal/traffic"
 )
 
 // runSummary is the -json output schema.
@@ -53,12 +49,12 @@ type runSummary struct {
 		Packets int64   `json:"packets"`
 	} `json:"latency"`
 
-	Counters      core.Counters    `json:"counters"`
-	StashResident int              `json:"stash_resident_flits"`
-	Metrics       map[string]int64 `json:"metrics,omitempty"`
-	TraceEvents   int              `json:"trace_events,omitempty"`
-	TraceDropped  int64            `json:"trace_dropped,omitempty"`
-	WatchdogStall int64            `json:"watchdog_stalls"`
+	Counters      core.Counters     `json:"counters"`
+	StashResident int               `json:"stash_resident_flits"`
+	Metrics       map[string]int64  `json:"metrics,omitempty"`
+	TraceEvents   int               `json:"trace_events,omitempty"`
+	TraceDropped  int64             `json:"trace_dropped,omitempty"`
+	WatchdogStall int64             `json:"watchdog_stalls"`
 	Artifacts     map[string]string `json:"artifacts,omitempty"`
 }
 
@@ -68,21 +64,24 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	preset := flag.String("preset", "small", "base preset: tiny, small, paper (overridden by -p/-a/-h)")
-	pFlag := flag.Int("p", 0, "endpoints per switch (custom topology)")
-	aFlag := flag.Int("a", 0, "switches per group (custom topology)")
-	hFlag := flag.Int("h", 0, "global links per switch (custom topology)")
-	mode := flag.String("mode", "baseline", "switch mode: baseline, e2e, congestion")
-	capFrac := flag.Float64("cap", 1.0, "stash capacity fraction (1.0, 0.5, 0.25)")
-	load := flag.Float64("load", 0.5, "offered load as a fraction of channel capacity")
-	msgPkts := flag.Int("burst", 1, "message size in packets")
-	hotspots := flag.Int("hotspots", 0, "number of 4:1 hotspot aggressors (enables victim/aggressor classes)")
-	cycles := flag.Int64("cycles", 50000, "measured cycles (after warmup)")
-	warm := flag.Int64("warmup", 10000, "warmup cycles")
-	seed := flag.Uint64("seed", 1, "random seed")
-	ecn := flag.Bool("ecn", false, "enable ECN (implied by -mode congestion)")
-	banks := flag.Bool("banks", false, "model two-bank port memory conflicts")
-	errRate := flag.Float64("errors", 0, "per-packet NACK probability (e2e retransmission)")
+	var sp simSpec
+	flag.StringVar(&sp.Preset, "preset", "small", "base preset: tiny, small, paper (overridden by -p/-a/-h)")
+	flag.IntVar(&sp.P, "p", 0, "endpoints per switch (custom topology)")
+	flag.IntVar(&sp.A, "a", 0, "switches per group (custom topology)")
+	flag.IntVar(&sp.H, "h", 0, "global links per switch (custom topology)")
+	flag.StringVar(&sp.Mode, "mode", "baseline", "switch mode: baseline, e2e, congestion")
+	flag.Float64Var(&sp.CapFrac, "cap", 1.0, "stash capacity fraction (1.0, 0.5, 0.25)")
+	flag.Float64Var(&sp.Load, "load", 0.5, "offered load as a fraction of channel capacity")
+	flag.IntVar(&sp.MsgPkts, "burst", 1, "message size in packets")
+	flag.IntVar(&sp.Hotspots, "hotspots", 0, "number of 4:1 hotspot aggressors (enables victim/aggressor classes)")
+	flag.Int64Var(&sp.Cycles, "cycles", 50000, "measured cycles (after warmup)")
+	flag.Int64Var(&sp.Warmup, "warmup", 10000, "warmup cycles")
+	flag.Uint64Var(&sp.Seed, "seed", 1, "random seed")
+	flag.BoolVar(&sp.ECN, "ecn", false, "enable ECN (implied by -mode congestion)")
+	flag.BoolVar(&sp.Banks, "banks", false, "model two-bank port memory conflicts")
+	flag.Float64Var(&sp.ErrRate, "errors", 0, "per-packet NACK probability (e2e retransmission)")
+	flag.BoolVar(&sp.Invariants, "invariants", false, "audit runtime conservation invariants during the run")
+	flag.Int64Var(&sp.InvariantsEvery, "invariants-every", 64, "invariant audit interval in cycles")
 
 	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")
 	metricsFull := flag.Bool("metrics-full", false, "with -metrics, print every per-switch/per-tile scope instead of totals")
@@ -116,47 +115,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var cfg *core.Config
-	switch *preset {
-	case "paper":
-		cfg = core.PaperConfig()
-	case "tiny":
-		cfg = core.TinyConfig()
-	default:
-		cfg = core.SmallConfig()
-	}
-	if *pFlag > 0 && *aFlag > 0 && *hFlag > 0 {
-		cfg = core.PaperConfig()
-		cfg.Topo = topo.Dragonfly{P: *pFlag, A: *aFlag, H: *hFlag}
-		radix := cfg.Topo.Radix()
-		// Keep 4 rows/columns like the paper's switch; pad tile sizes.
-		cfg.Rows, cfg.Cols = 4, 4
-		cfg.TileIn = (radix + 3) / 4
-		cfg.TileOut = (radix + 3) / 4
-	}
-	switch *mode {
-	case "baseline":
-		cfg.Mode = core.StashOff
-	case "e2e":
-		cfg.Mode = core.StashE2E
-	case "congestion":
-		cfg.Mode = core.StashCongestion
-		cfg.ECN = core.DefaultECN()
-	default:
-		fatalf("unknown mode %q", *mode)
-	}
-	if *ecn {
-		cfg.ECN = core.DefaultECN()
-	}
-	cfg.StashCapFrac = *capFrac
-	cfg.BankModel = *banks
-	cfg.Seed = *seed
-	if *errRate > 0 {
-		cfg.ErrorRate = *errRate
-		cfg.RetainPayload = true
-	}
-
-	n, err := network.New(cfg)
+	n, err := sp.build()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -179,66 +138,18 @@ func main() {
 		n.AttachWatchdog(*watchdog, os.Stderr)
 	}
 
-	rng := sim.NewRNG(*seed + 77)
-	rate := n.ChannelRate()
-	msgFlits := *msgPkts * proto.MaxPacketFlits
-	victims := proto.ClassDefault
-	if *hotspots > 0 {
-		victims = proto.ClassVictim
-	}
-	n.Collector.WithHist(victims)
-	hotDst := map[int32]bool{}
-	hotSrc := map[int32]bool{}
-	if *hotspots > 0 {
-		d := cfg.Topo
-		for i := 0; i < *hotspots; i++ {
-			sw := (i * d.NumSwitches()) / *hotspots
-			hotDst[int32(d.EndpointID(sw, 0))] = true
-		}
-		k := 0
-		dsts := make([]int32, 0, len(hotDst))
-		for dst := range hotDst {
-			dsts = append(dsts, dst)
-		}
-		for i := 1; k < 4**hotspots && i < n.Cfg.Topo.NumEndpoints(); i += 7 {
-			id := int32(i)
-			if !hotDst[id] {
-				hotSrc[id] = true
-				k++
-			}
-		}
-		k = 0
-		for _, ep := range n.Endpoints {
-			if hotSrc[ep.ID] {
-				ep.Gen = traffic.Hotspot(dsts[k%len(dsts)], msgFlits, proto.ClassAggressor, 0)
-				k++
-			}
-		}
-	}
-	for _, ep := range n.Endpoints {
-		if ep.Gen != nil || hotDst[ep.ID] {
-			continue
-		}
-		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
-			*load, rate, msgFlits, victims, 0)
-	}
-
-	n.Warmup(*warm)
-	n.Run(*cycles)
+	s := sp.run(n)
 
 	artifacts := map[string]string{}
-	lat := n.Collector.LatAcc[victims]
-	h := n.Collector.LatHist[victims]
-	fmt.Fprintf(out, "measured %d cycles (%.1f us)\n", *cycles, float64(*cycles)/1300)
-	fmt.Fprintf(out, "offered  %.3f  accepted %.3f (fraction of capacity)\n",
-		n.NormalizedOffered(*cycles), n.NormalizedAccepted(*cycles))
+	cfg := n.Cfg
+	fmt.Fprintf(out, "measured %d cycles (%.1f us)\n", sp.Cycles, float64(sp.Cycles)/1300)
+	fmt.Fprintf(out, "offered  %.3f  accepted %.3f (fraction of capacity)\n", s.Offered, s.Accepted)
 	fmt.Fprintf(out, "latency  mean %.0f ns  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f ns (%d packets)\n",
-		lat.Mean()/1.3,
-		float64(h.Percentile(50))/1.3, float64(h.Percentile(90))/1.3,
-		float64(h.Percentile(99))/1.3, lat.Max/1.3, lat.N)
-	c := n.Counters()
+		s.Latency.MeanNS, s.Latency.P50NS, s.Latency.P90NS, s.Latency.P99NS,
+		s.Latency.MaxNS, s.Latency.Packets)
+	c := s.Counters
 	fmt.Fprintf(out, "switching: %d flits, %d sent; stash: %d stored / %d retrieved / %d resident\n",
-		c.FlitsSwitched, c.FlitsSent, c.StashStores, c.StashRetrieves, n.TotalStashUsed())
+		c.FlitsSwitched, c.FlitsSent, c.StashStores, c.StashRetrieves, s.StashResident)
 	if cfg.ECN.Enabled {
 		fmt.Fprintf(out, "ECN: %d marks, %d window shrinks, %d congested port-cycles\n",
 			c.ECNMarks, n.Collector.WindowShrinks, c.CongestedCycles)
@@ -249,10 +160,13 @@ func main() {
 	}
 	if cfg.BankModel {
 		var bc int64
-		for _, s := range n.Switches {
-			bc += s.BankConflicts()
+		for _, sw := range n.Switches {
+			bc += sw.BankConflicts()
 		}
 		fmt.Fprintf(out, "bank conflicts: %d\n", bc)
+	}
+	if n.Invariants != nil {
+		fmt.Fprintf(out, "invariants: %d audits, all laws held\n", n.Invariants.Checks)
 	}
 
 	if reg != nil {
@@ -307,22 +221,6 @@ func main() {
 	}
 
 	if *jsonOut {
-		var s runSummary
-		s.Network = n.Describe()
-		s.Mode = cfg.Mode.String()
-		s.Seed = *seed
-		s.Cycles = *cycles
-		s.Warmup = *warm
-		s.Offered = n.NormalizedOffered(*cycles)
-		s.Accepted = n.NormalizedAccepted(*cycles)
-		s.Latency.MeanNS = lat.Mean() / 1.3
-		s.Latency.P50NS = float64(h.Percentile(50)) / 1.3
-		s.Latency.P90NS = float64(h.Percentile(90)) / 1.3
-		s.Latency.P99NS = float64(h.Percentile(99)) / 1.3
-		s.Latency.MaxNS = lat.Max / 1.3
-		s.Latency.Packets = lat.N
-		s.Counters = c
-		s.StashResident = n.TotalStashUsed()
 		if reg != nil {
 			s.Metrics = map[string]int64{}
 			names, values := reg.Totals()
@@ -342,7 +240,7 @@ func main() {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(&s); err != nil {
+		if err := enc.Encode(s); err != nil {
 			fatalf("json: %v", err)
 		}
 	}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// runJSON builds and runs the spec and returns the summary marshalled
+// exactly as the -json flag would emit it.
+func runJSON(t *testing.T, sp simSpec) []byte {
+	t.Helper()
+	n, err := sp.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.run(n)
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunIsDeterministic runs the same spec twice and requires the -json
+// summaries to be byte-identical. This is the end-to-end guard behind the
+// determinism analyzer: any map-order, wall-clock, or global-rand
+// dependence in the simulation path shows up here as a diff.
+func TestRunIsDeterministic(t *testing.T) {
+	specs := map[string]simSpec{
+		"e2e-uniform": {
+			Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+			Load: 0.4, MsgPkts: 1,
+			Cycles: 3000, Warmup: 500, Seed: 42,
+			Invariants: true, InvariantsEvery: 64,
+		},
+		"congestion-hotspot": {
+			Preset: "tiny", Mode: "congestion", CapFrac: 1.0,
+			Load: 0.3, MsgPkts: 2, Hotspots: 2,
+			Cycles: 3000, Warmup: 500, Seed: 7,
+		},
+		"baseline-errors-off": {
+			Preset: "tiny", Mode: "baseline", CapFrac: 1.0,
+			Load: 0.5, MsgPkts: 1,
+			Cycles: 2000, Warmup: 200, Seed: 1,
+		},
+	}
+	for name, sp := range specs {
+		t.Run(name, func(t *testing.T) {
+			a := runJSON(t, sp)
+			b := runJSON(t, sp)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed produced different summaries:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestBadModeRejected exercises the config error path.
+func TestBadModeRejected(t *testing.T) {
+	sp := simSpec{Preset: "tiny", Mode: "turbo"}
+	if _, err := sp.build(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

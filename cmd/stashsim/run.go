@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+
+	"stashsim/internal/core"
+	"stashsim/internal/network"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+	"stashsim/internal/traffic"
+)
+
+// simSpec captures everything that determines a simulation's outcome:
+// topology, mode, workload, duration, and seed. Two runs with equal
+// specs produce byte-identical summaries (enforced by TestRunIsDeterministic).
+type simSpec struct {
+	Preset          string
+	P, A, H         int // custom topology; all three > 0 to take effect
+	Mode            string
+	CapFrac         float64
+	Load            float64
+	MsgPkts         int
+	Hotspots        int
+	Cycles          int64
+	Warmup          int64
+	Seed            uint64
+	ECN             bool
+	Banks           bool
+	ErrRate         float64
+	Invariants      bool
+	InvariantsEvery int64
+}
+
+// config materializes the spec's network configuration.
+func (sp *simSpec) config() (*core.Config, error) {
+	var cfg *core.Config
+	switch sp.Preset {
+	case "paper":
+		cfg = core.PaperConfig()
+	case "tiny":
+		cfg = core.TinyConfig()
+	default:
+		cfg = core.SmallConfig()
+	}
+	if sp.P > 0 && sp.A > 0 && sp.H > 0 {
+		cfg = core.PaperConfig()
+		cfg.Topo = topo.Dragonfly{P: sp.P, A: sp.A, H: sp.H}
+		radix := cfg.Topo.Radix()
+		// Keep 4 rows/columns like the paper's switch; pad tile sizes.
+		cfg.Rows, cfg.Cols = 4, 4
+		cfg.TileIn = (radix + 3) / 4
+		cfg.TileOut = (radix + 3) / 4
+	}
+	switch sp.Mode {
+	case "baseline":
+		cfg.Mode = core.StashOff
+	case "e2e":
+		cfg.Mode = core.StashE2E
+	case "congestion":
+		cfg.Mode = core.StashCongestion
+		cfg.ECN = core.DefaultECN()
+	default:
+		return nil, fmt.Errorf("unknown mode %q", sp.Mode)
+	}
+	if sp.ECN {
+		cfg.ECN = core.DefaultECN()
+	}
+	cfg.StashCapFrac = sp.CapFrac
+	cfg.BankModel = sp.Banks
+	cfg.Seed = sp.Seed
+	if sp.ErrRate > 0 {
+		cfg.ErrorRate = sp.ErrRate
+		cfg.RetainPayload = true
+	}
+	return cfg, nil
+}
+
+// victimClass returns the measured traffic class: with hotspot aggressors
+// the background traffic is the victim class, otherwise the default.
+func (sp *simSpec) victimClass() proto.Class {
+	if sp.Hotspots > 0 {
+		return proto.ClassVictim
+	}
+	return proto.ClassDefault
+}
+
+// build constructs the network and wires the synthetic workload.
+func (sp *simSpec) build() (*network.Network, error) {
+	cfg, err := sp.config()
+	if err != nil {
+		return nil, err
+	}
+	n, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Invariants {
+		every := sp.InvariantsEvery
+		if every <= 0 {
+			every = 64
+		}
+		n.EnableInvariants(every)
+	}
+
+	rng := sim.NewRNG(sp.Seed + 77)
+	rate := n.ChannelRate()
+	msgFlits := sp.MsgPkts * proto.MaxPacketFlits
+	victims := sp.victimClass()
+	n.Collector.WithHist(victims)
+	hotDst := map[int32]bool{}
+	hotSrc := map[int32]bool{}
+	if sp.Hotspots > 0 {
+		d := cfg.Topo
+		// Build the destination list alongside the set: iterating the map
+		// would make aggressor targeting depend on map order.
+		dsts := make([]int32, 0, sp.Hotspots)
+		for i := 0; i < sp.Hotspots; i++ {
+			sw := (i * d.NumSwitches()) / sp.Hotspots
+			id := int32(d.EndpointID(sw, 0))
+			if !hotDst[id] {
+				hotDst[id] = true
+				dsts = append(dsts, id)
+			}
+		}
+		k := 0
+		for i := 1; k < 4*sp.Hotspots && i < d.NumEndpoints(); i += 7 {
+			id := int32(i)
+			if !hotDst[id] {
+				hotSrc[id] = true
+				k++
+			}
+		}
+		k = 0
+		for _, ep := range n.Endpoints {
+			if hotSrc[ep.ID] {
+				ep.Gen = traffic.Hotspot(dsts[k%len(dsts)], msgFlits, proto.ClassAggressor, 0)
+				k++
+			}
+		}
+	}
+	for _, ep := range n.Endpoints {
+		if ep.Gen != nil || hotDst[ep.ID] {
+			continue
+		}
+		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			sp.Load, rate, msgFlits, victims, 0)
+	}
+	return n, nil
+}
+
+// run executes warmup plus the measured window and fills the summary's
+// simulation-determined fields (observability artifacts are the caller's).
+func (sp *simSpec) run(n *network.Network) *runSummary {
+	n.Warmup(sp.Warmup)
+	n.Run(sp.Cycles)
+
+	victims := sp.victimClass()
+	lat := n.Collector.LatAcc[victims]
+	h := n.Collector.LatHist[victims]
+	var s runSummary
+	s.Network = n.Describe()
+	s.Mode = n.Cfg.Mode.String()
+	s.Seed = sp.Seed
+	s.Cycles = sp.Cycles
+	s.Warmup = sp.Warmup
+	s.Offered = n.NormalizedOffered(sp.Cycles)
+	s.Accepted = n.NormalizedAccepted(sp.Cycles)
+	s.Latency.MeanNS = lat.Mean() / 1.3
+	s.Latency.P50NS = float64(h.Percentile(50)) / 1.3
+	s.Latency.P90NS = float64(h.Percentile(90)) / 1.3
+	s.Latency.P99NS = float64(h.Percentile(99)) / 1.3
+	s.Latency.MaxNS = lat.Max / 1.3
+	s.Latency.Packets = lat.N
+	s.Counters = n.Counters()
+	s.StashResident = n.TotalStashUsed()
+	return &s
+}

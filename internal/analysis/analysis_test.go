@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// runFixture runs one analyzer over one testdata fixture and reports the
+// mismatches between its diagnostics and the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
+	t.Helper()
+	l := NewLoader(moduleRoot(t))
+	problems, err := RunFixture(l, a, FixturePath(fixture), asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, Determinism, "determinism", "stashsim/internal/detfix")
+}
+
+// TestDeterminismSimExemption loads a fixture under the internal/sim
+// path, where goroutine spawns are the executor barrier and permitted.
+func TestDeterminismSimExemption(t *testing.T) {
+	runFixture(t, Determinism, "determinism_sim", "stashsim/internal/sim")
+}
+
+func TestNilSafeFixture(t *testing.T) {
+	runFixture(t, NilSafe, "nilsafe", "stashsim/internal/nsfix")
+}
+
+func TestPanicStyleFixture(t *testing.T) {
+	runFixture(t, PanicStyle, "panicstyle", "stashsim/internal/panicfix")
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		rel      string
+		want     bool
+	}{
+		{Determinism, "internal/core", true},
+		{Determinism, "internal/sim", true},
+		{Determinism, "cmd/stashsim", true},
+		{Determinism, "examples/quickstart", true},
+		{Determinism, "internal/metrics", false},
+		{Determinism, "internal/analysis", false},
+		{NilSafe, "internal/metrics", true},
+		{NilSafe, "internal/core", false},
+		{PanicStyle, "internal/buffer", true},
+		{PanicStyle, "cmd/stashsim", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Scope(c.rel); got != c.want {
+			t.Errorf("%s.Scope(%q) = %v, want %v", c.analyzer.Name, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestRepoClean is the in-process form of `make lint`: the whole module
+// must carry zero findings. Skipped under -short (the race pass) — the
+// full typecheck of the module plus its std dependencies takes seconds.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in short mode")
+	}
+	l := NewLoader(moduleRoot(t))
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if pkg.Rel == "" || !a.Scope(pkg.Rel) {
+				continue
+			}
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

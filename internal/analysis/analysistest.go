@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+)
+
+// The fixture runner mirrors golang.org/x/tools/go/analysis/analysistest:
+// fixture sources under testdata/ carry expectations as comments —
+//
+//	for k := range m { // want "range over map"
+//
+// — where each quoted string is a regexp that must match a diagnostic
+// reported on that line. Every diagnostic must be wanted and every want
+// must be matched; the mismatches are returned as errors for the test to
+// report.
+
+// wantRe matches one `// want "re" "re2"` expectation comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+// wantStrRe extracts the individual quoted regexps.
+var wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// RunFixture loads the fixture directory as a package with import path
+// asPath, runs the analyzer over it, and checks its diagnostics against
+// the fixture's want comments. It returns the list of mismatches (empty
+// on success).
+func RunFixture(l *Loader, a *Analyzer, dir, asPath string) ([]string, error) {
+	pkg, err := l.LoadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range pass.Diagnostics() {
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic %s", d))
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}
+
+// FixturePath returns the conventional fixture directory for a name.
+func FixturePath(name string) string {
+	return filepath.Join("testdata", "src", name)
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the simulator's bit-identical-reproducibility
+// contract: a run is a pure function of its configuration and seed. In
+// simulation packages it forbids the four ways nondeterminism leaks in:
+//
+//   - ranging over a map (iteration order feeds whatever the loop body
+//     touches — sort the keys or keep a slice alongside the map);
+//   - wall-clock time (time.Now / time.Since);
+//   - the global math/rand source (import the seeded sim.RNG instead);
+//   - goroutine spawns outside internal/sim, whose executor owns the only
+//     synchronization barrier the simulation loop recognizes.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid map iteration, wall-clock time, global math/rand and " +
+		"unsynchronized goroutines in simulation packages",
+	Scope: determinismScope,
+	Run:   runDeterminism,
+}
+
+// determinismPkgs are the module-relative package paths the contract
+// covers: every package that executes between seeding and summary output.
+var determinismPkgs = []string{
+	"internal/core",
+	"internal/sim",
+	"internal/route",
+	"internal/buffer",
+	"internal/arb",
+	"internal/traffic",
+	"internal/harness",
+	"internal/endpoint",
+	"internal/proto",
+	"internal/network",
+	"internal/topo",
+	"cmd/stashsim",
+	"cmd/figures",
+	"cmd/tracegen",
+	"examples/",
+}
+
+func determinismScope(relPath string) bool { return pathIn(relPath, determinismPkgs) }
+
+func runDeterminism(pass *Pass) error {
+	// The executor package owns the worker-pool barrier; its goroutine
+	// spawns are the synchronization everyone else must go through.
+	goExempt := strings.HasSuffix(pass.PkgPath, "internal/sim")
+
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of math/rand in a simulation package; use the seeded sim.RNG")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "range over map: iteration order is nondeterministic; sort the keys or iterate a slice")
+					}
+				}
+			case *ast.GoStmt:
+				if !goExempt {
+					pass.Reportf(n.Pos(), "goroutine spawned outside internal/sim's executor barrier")
+				}
+			case *ast.SelectorExpr:
+				if pkg, name := resolvePkgFunc(pass, n); pkg == "time" && (name == "Now" || name == "Since" || name == "Until") {
+					pass.Reportf(n.Pos(), "time.%s in a simulation package: simulated time is sim.Tick, wall-clock time is nondeterministic", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolvePkgFunc returns the (package path, selector name) of a
+// pkg.Name selector, or ("", "") when sel.X is not a package qualifier.
+func resolvePkgFunc(pass *Pass, sel *ast.SelectorExpr) (string, string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

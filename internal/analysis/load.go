@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks packages without golang.org/x/tools/go/packages:
+// one `go list -json -deps` invocation supplies every package's file list,
+// import graph and vendor remapping (ImportMap), and go/types checks the
+// sources bottom-up. Dependency-only packages are checked with
+// IgnoreFuncBodies (API surface only), so a whole-repo load stays cheap;
+// the requested packages keep full bodies and a populated types.Info for
+// the analyzers.
+
+// Package is one fully loaded, analyzable package.
+type Package struct {
+	// Path is the package's import path; Rel is the path relative to the
+	// module root ("" when the package is not part of the module), which
+	// analyzer Scope functions consume.
+	Path  string
+	Rel   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// pkgMeta is the subset of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// Loader loads and type-checks packages of one module.
+type Loader struct {
+	// Dir is the directory `go list` runs in (anywhere inside the module).
+	Dir string
+	// Module is the module path, discovered on first Load.
+	Module string
+
+	fset  *token.FileSet
+	metas map[string]*pkgMeta
+	typed map[string]*types.Package
+	full  map[string]*Package
+	errs  map[string][]error // hard type errors per requested package
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		metas: make(map[string]*pkgMeta),
+		typed: make(map[string]*types.Package),
+		full:  make(map[string]*Package),
+		errs:  make(map[string][]error),
+	}
+}
+
+// goList runs `go list -json -deps args...` and merges the results into
+// the loader's metadata table.
+func (l *Loader) goList(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-json", "-deps"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		m := &pkgMeta{}
+		if err := dec.Decode(m); err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if prev, ok := l.metas[m.ImportPath]; ok {
+			// A package listed as a root in one invocation and a dep in
+			// another keeps the root (DepOnly=false) marking.
+			if prev.DepOnly && !m.DepOnly {
+				prev.DepOnly = false
+			}
+			continue
+		}
+		l.metas[m.ImportPath] = m
+		if l.Module == "" && m.Module != nil {
+			l.Module = m.Module.Path
+		}
+	}
+	return nil
+}
+
+// Load lists patterns (e.g. "./...") and returns each matched package
+// fully type-checked, sorted by import path. It fails on parse or type
+// errors in the matched packages; dependency errors are tolerated as long
+// as the matched packages still check.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var roots []string
+	for path, m := range l.metas {
+		if !m.DepOnly && !m.Standard {
+			roots = append(roots, path)
+		}
+	}
+	sort.Strings(roots)
+	var pkgs []*Package
+	for _, path := range roots {
+		if _, err := l.typecheck(path); err != nil {
+			return nil, err
+		}
+		p := l.full[path]
+		if errs := l.errs[path]; len(errs) > 0 {
+			return nil, fmt.Errorf("package %s: %v", path, errs[0])
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// resolve maps an import spelled in pkg m to its actual import path,
+// honoring go list's vendor/version remapping.
+func (m *pkgMeta) resolve(imp string) string {
+	if r, ok := m.ImportMap[imp]; ok {
+		return r
+	}
+	return imp
+}
+
+// typecheck parses and checks one package (dependencies first).
+func (l *Loader) typecheck(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if t, ok := l.typed[path]; ok {
+		return t, nil
+	}
+	m := l.metas[path]
+	if m == nil {
+		return nil, fmt.Errorf("analysis: package %s not listed", path)
+	}
+	for _, imp := range m.Imports {
+		if imp == "C" {
+			continue
+		}
+		if _, err := l.typecheck(m.resolve(imp)); err != nil {
+			return nil, err
+		}
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if m.DepOnly {
+				continue // best effort for dependencies
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if !m.DepOnly {
+		info = newInfo()
+	}
+	conf := types.Config{
+		Importer:         &mapImporter{l: l, m: m},
+		FakeImportC:      true,
+		IgnoreFuncBodies: m.DepOnly,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if !m.DepOnly {
+				l.errs[path] = append(l.errs[path], err)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s produced no package", path)
+	}
+	l.typed[path] = tpkg
+	if !m.DepOnly {
+		l.full[path] = &Package{
+			Path:  path,
+			Rel:   l.relPath(path),
+			Fset:  l.fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		}
+	}
+	return tpkg, nil
+}
+
+// relPath strips the module prefix from an import path.
+func (l *Loader) relPath(path string) string {
+	if path == l.Module {
+		return "."
+	}
+	if l.Module != "" && strings.HasPrefix(path, l.Module+"/") {
+		return path[len(l.Module)+1:]
+	}
+	return ""
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// mapImporter resolves one package's imports against the loader's table
+// of already-checked packages, applying that package's ImportMap.
+type mapImporter struct {
+	l *Loader
+	m *pkgMeta
+}
+
+func (i *mapImporter) Import(path string) (*types.Package, error) {
+	r := i.m.resolve(path)
+	if r == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if t, ok := i.l.typed[r]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("analysis: import %s (as %s) not loaded", path, r)
+}
+
+// LoadDir parses and type-checks a single directory of Go files outside
+// the module build graph — the analyzer fixture mode. The directory's
+// files become a package with the given import path, so path-sensitive
+// rules see whatever path the fixture claims. Imports are resolved by
+// listing them through the module's `go list`.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var missing []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "C" || p == "unsafe" {
+				continue
+			}
+			if _, ok := l.metas[p]; !ok {
+				missing = append(missing, p)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		if err := l.goList(missing...); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "C" {
+				continue
+			}
+			if _, err := l.typecheck(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	info := newInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer:    &mapImporter{l: l, m: &pkgMeta{}},
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Error:       func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(asPath, l.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("fixture %s: %v", dir, terrs[0])
+	}
+	return &Package{
+		Path:  asPath,
+		Rel:   l.relPath(asPath),
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

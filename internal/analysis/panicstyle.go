@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicStyle enforces the diagnostic convention of the internal packages:
+// a panic marks a simulator bug (flow-control violation, protocol
+// corruption), and its message must identify the owning package and be
+// greppable — a constant string (or a fmt.Sprintf with a constant format)
+// prefixed "pkg: ", e.g.
+//
+//	panic("core: DropFlit with no due flit")
+//	panic(fmt.Sprintf("harness: %v", err))
+//
+// Dynamic panic values (errors, recovered values) hide which invariant
+// tripped and where; they are flagged.
+var PanicStyle = &Analyzer{
+	Name:  "panicstyle",
+	Doc:   `panics in internal packages must carry a constant "pkg: ..."-prefixed message`,
+	Scope: func(relPath string) bool { return strings.HasPrefix(relPath, "internal/") },
+	Run:   runPanicStyle,
+}
+
+func runPanicStyle(pass *Pass) error {
+	prefix := pass.Pkg.Name() + ": "
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+				return true // a shadowing declaration, not the builtin
+			}
+			arg := call.Args[0]
+			if s, ok := constString(pass, arg); ok {
+				if !strings.HasPrefix(s, prefix) {
+					pass.Reportf(call.Pos(), "panic message %q is not pkg-prefixed; start it with %q", s, prefix)
+				}
+				return true
+			}
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				if sel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+					if pkg, name := resolvePkgFunc(pass, sel); pkg == "fmt" && name == "Sprintf" && len(inner.Args) > 0 {
+						if s, ok := constString(pass, inner.Args[0]); ok {
+							if !strings.HasPrefix(s, prefix) {
+								pass.Reportf(call.Pos(), "panic format %q is not pkg-prefixed; start it with %q", s, prefix)
+							}
+							return true
+						}
+					}
+				}
+			}
+			pass.Reportf(call.Pos(), `panic argument must be a constant string (or constant-format fmt.Sprintf) starting %q`, prefix)
+			return true
+		})
+	}
+	return nil
+}
+
+// constString returns the value of a constant string expression.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,64 @@
+// Package detfix is the determinism analyzer fixture. It is loaded under
+// the fake import path stashsim/internal/detfix, i.e. as an ordinary
+// simulation package (no internal/sim goroutine exemption).
+package detfix
+
+import (
+	"math/rand" // want "import of math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	weights map[int]int
+	order   []int
+}
+
+// bad exercises every forbidden construct.
+func (s *state) bad() {
+	for k := range s.weights { // want "range over map"
+		s.order = append(s.order, k)
+	}
+	_ = time.Now()              // want "time.Now"
+	_ = time.Since(time.Time{}) // want "time.Since"
+	_ = rand.Intn(4)
+	go s.bad() // want "goroutine"
+}
+
+// sortedKeys ranges over a map too — the analyzer cannot see the sort
+// that follows, so the site documents itself with a suppression.
+func (s *state) sortedKeys() []int {
+	keys := make([]int, 0, len(s.weights))
+	//lint:allow determinism -- keys are sorted before use
+	for k := range s.weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// allowedSameLine suppresses on the flagged line itself.
+func (s *state) allowedSameLine() int {
+	n := 0
+	for range s.weights { //lint:allow determinism -- only counting, order-free
+		n++
+	}
+	return n
+}
+
+// rangeOverSlice is the deterministic idiom and is not flagged.
+func (s *state) rangeOverSlice() int {
+	total := 0
+	for _, k := range s.order {
+		total += s.weights[k]
+	}
+	return total
+}
+
+// bareAllow lacks the mandatory reason, so the finding still fires.
+func (s *state) bareAllow() {
+	//lint:allow determinism
+	for k := range s.weights { // want "range over map"
+		delete(s.weights, k)
+	}
+}

@@ -1,0 +1,29 @@
+// Package sim is the determinism fixture for the executor exemption: it
+// is loaded under the fake import path stashsim/internal/sim, where
+// goroutine spawns are the synchronization barrier itself and therefore
+// permitted. The other determinism rules still apply.
+package sim
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// spawn is allowed here: internal/sim owns the worker barrier.
+func (p *pool) spawn(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
+}
+
+// mapOrder is still forbidden even inside internal/sim.
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "range over map"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Package panicfix is the panicstyle analyzer fixture: panic messages in
+// internal packages must be constant strings (or constant-format
+// fmt.Sprintf calls) prefixed with the package name.
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func check(x int) {
+	if x < 0 {
+		panic("panicfix: negative input") // canonical form
+	}
+	if x == 1 {
+		panic("negative input") // want "not pkg-prefixed"
+	}
+	if x == 2 {
+		panic("core: wrong package prefix") // want "not pkg-prefixed"
+	}
+	if x == 3 {
+		panic(fmt.Sprintf("panicfix: x=%d out of range", x)) // constant format, prefixed
+	}
+	if x == 4 {
+		panic(fmt.Sprintf("x=%d out of range", x)) // want "not pkg-prefixed"
+	}
+	if x == 5 {
+		panic(errors.New("panicfix: wrapped")) // want "constant string"
+	}
+}
+
+const sizeMsg = "panicfix: size overflow"
+
+// constant identifiers count as constant strings.
+func checkConst(ok bool) {
+	if !ok {
+		panic(sizeMsg)
+	}
+}
+
+// repanic forwards a recovered value; the style contract does not apply,
+// which the site must document.
+func repanic(r any) {
+	if r != nil {
+		//lint:allow panicstyle -- re-raising a recovered value verbatim
+		panic(r)
+	}
+}

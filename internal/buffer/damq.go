@@ -123,6 +123,16 @@ func (d *DAMQ) Len(vc int) int { return d.queues[vc].Len() }
 // Occupied returns a bitmask of VCs with at least one queued flit.
 func (d *DAMQ) Occupied() uint32 { return d.occupied }
 
+// NumVCs returns the number of virtual channels sharing the pool.
+func (d *DAMQ) NumVCs() int { return len(d.queues) }
+
+// ResvUsed returns the occupancy of vc's reserved quota, for the
+// invariant checker's credit-conservation audit.
+func (d *DAMQ) ResvUsed(vc int) int { return d.resvUsed[vc] }
+
+// SharedUsed returns the shared-pool occupancy in flits.
+func (d *DAMQ) SharedUsed() int { return d.shared }
+
 // CreditCounter is the sender-side mirror of a downstream DAMQ. The sender
 // decrements it when transmitting and the receiver's credits replenish it
 // (after the link's credit-return latency). Both sides use the identical
@@ -149,6 +159,15 @@ func NewCreditCounter(capacity, numVCs int) *CreditCounter {
 
 // Avail returns how many flits may currently be sent on vc.
 func (c *CreditCounter) Avail(vc int) int { return c.resvFree[vc] + c.shared }
+
+// NumVCs returns the number of virtual channels mirrored.
+func (c *CreditCounter) NumVCs() int { return len(c.resvFree) }
+
+// Reserve returns the per-VC reserved quota being mirrored.
+func (c *CreditCounter) Reserve() int { return c.reserve }
+
+// ResvFree returns the free reserved-quota credits for vc.
+func (c *CreditCounter) ResvFree(vc int) int { return c.resvFree[vc] }
 
 // SharedFree returns the free shared-pool credit count.
 func (c *CreditCounter) SharedFree() int { return c.shared }

@@ -121,6 +121,14 @@ func (r *TimedRing) Front() *TimedFlit {
 	return &r.buf[r.head]
 }
 
+// At returns a pointer to the i-th oldest entry (0 = front).
+func (r *TimedRing) At(i int) *TimedFlit {
+	if i < 0 || i >= r.n {
+		panic("buffer: timed ring index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
 func (r *TimedRing) grow() {
 	size := len(r.buf) * 2
 	if size == 0 {

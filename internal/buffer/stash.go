@@ -27,6 +27,13 @@ type StashPool struct {
 	// retrieval in FIFO order.
 	retrQ Ring
 
+	// Conservation bookkeeping for the invariant checker: retrCopies is
+	// the number of retransmission copies sitting in retrQ without owning
+	// pool space (their space belongs to the retained store entry), and
+	// freed is the cumulative count of flits released by Delete.
+	retrCopies int
+	freed      int64
+
 	// PeakUsed tracks the high-water mark for statistics.
 	PeakUsed int
 }
@@ -100,6 +107,7 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 // the originating end port).
 func (p *StashPool) Delete(pktID uint64, size int) {
 	p.used -= size
+	p.freed += int64(size)
 	if p.used < 0 {
 		panic("buffer: stash pool delete underflow")
 	}
@@ -143,6 +151,9 @@ func (p *StashPool) RetrFront() *proto.Flit {
 // owning the space, and the flit's FlagStashCopy marks it so RetrPop knows
 // not to release anything.
 func (p *StashPool) PushRetr(f proto.Flit) {
+	if f.Flags&proto.FlagStashCopy != 0 {
+		p.retrCopies++
+	}
 	p.retrQ.Push(f)
 }
 
@@ -154,6 +165,7 @@ func (p *StashPool) RetrPop() proto.Flit {
 	f := p.retrQ.Pop()
 	if f.Flags&proto.FlagStashCopy != 0 {
 		f.Flags &^= proto.FlagStashCopy
+		p.retrCopies--
 		return f
 	}
 	p.used--
@@ -165,3 +177,14 @@ func (p *StashPool) RetrPop() proto.Flit {
 
 // RetrLen returns the number of flits queued for retrieval.
 func (p *StashPool) RetrLen() int { return p.retrQ.Len() }
+
+// PresentFlits returns the number of flits physically resident in the
+// pool for the invariant checker's conservation audit: the committed
+// occupancy plus the retransmission copies queued in retrQ that do not
+// own pool space. Reserved (granted but not yet arrived) space is
+// excluded — those flits are still in flight inside the switch.
+func (p *StashPool) PresentFlits() int { return p.used + p.retrCopies }
+
+// FreedFlits returns the cumulative number of flits released by Delete,
+// the stash-side destruction term of the conservation law.
+func (p *StashPool) FreedFlits() int64 { return p.freed }

@@ -240,6 +240,7 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 			cp.Flags |= proto.FlagStashCopy
 			cp.Out = 0xFF
 			cp.VC = proto.VCStore
+			s.created++
 			s.tileAt(row, int(lt.stashCol)).push(cp, slot, proto.VCStore)
 			if f.Head() {
 				s.track[p.id][f.PktID] = &e2eEntry{size: f.Size, stashPort: -1}

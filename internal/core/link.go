@@ -61,6 +61,21 @@ func (l *Link) DropFlit(now int64) {
 // InFlightFlits returns the number of flits on the wire.
 func (l *Link) InFlightFlits() int { return l.flits.Len() }
 
+// auditFlits calls fn for every flit currently on the wire, oldest first.
+// Used by the invariant checker only; fn must not mutate the flit.
+func (l *Link) auditFlits(fn func(*proto.Flit)) {
+	for i := 0; i < l.flits.Len(); i++ {
+		fn(&l.flits.At(i).Flit)
+	}
+}
+
+// auditCredits calls fn for every credit currently on the wire.
+func (l *Link) auditCredits(fn func(proto.Credit)) {
+	for i := 0; i < l.credits.n; i++ {
+		fn(l.credits.at(i).c)
+	}
+}
+
 // SendCredit returns a credit to the link's producer; it arrives after the
 // same latency as the forward path.
 func (l *Link) SendCredit(now int64, c proto.Credit) {
@@ -99,6 +114,10 @@ func (r *timedCreditRing) push(t timedCredit) {
 	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
 	r.n++
+}
+
+func (r *timedCreditRing) at(i int) *timedCredit {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
 func (r *timedCreditRing) popDue(now int64) (proto.Credit, bool) {

@@ -177,4 +177,5 @@ func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 		fl.RestoreVC = nextVC
 		pool.PushRetr(*fl)
 	}
+	s.created += int64(len(flits))
 }

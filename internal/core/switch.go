@@ -151,6 +151,12 @@ type Switch struct {
 	sideband sbRing
 	track    []map[uint64]*e2eEntry // per end port
 
+	// created counts flits minted inside this switch: end-to-end stash
+	// duplicates dropped off the row bus and retransmission copies taken
+	// from retained store entries. The invariant checker balances it
+	// against the stash pools' freed counts and the resident population.
+	created int64
+
 	Counters Counters
 
 	m      switchMetrics
@@ -296,6 +302,46 @@ func (s *Switch) TrackedPackets() int {
 	n := 0
 	for _, m := range s.track {
 		n += len(m)
+	}
+	return n
+}
+
+// AuditInBuf exposes an input port's normal buffer for the invariant
+// checker's credit-conservation audit.
+func (s *Switch) AuditInBuf(port int) *buffer.DAMQ { return s.in[port].buf }
+
+// AuditOutCredits exposes an output port's credit counter (nil for
+// endpoint-facing ports, which sink flits without credits).
+func (s *Switch) AuditOutCredits(port int) *buffer.CreditCounter { return s.out[port].credits }
+
+// AuditOutLink exposes an output port's link (nil when unwired).
+func (s *Switch) AuditOutLink(port int) *Link { return s.out[port].link }
+
+// auditResident counts every flit resident in the switch's structures:
+// input DAMQs, tile row buffers, column buffers, output queues (the
+// retention window holds placeholders, not flits), and stash pools.
+func (s *Switch) auditResident() int {
+	n := 0
+	for p := range s.in {
+		n += s.in[p].buf.Used()
+	}
+	for t := range s.tiles {
+		n += s.tiles[t].occupied
+	}
+	for p := range s.out {
+		n += s.out[p].colOcc + s.out[p].buf.Queued()
+	}
+	for _, pool := range s.stash {
+		n += pool.PresentFlits()
+	}
+	return n
+}
+
+// auditFreed returns the cumulative flits destroyed by stash deletions.
+func (s *Switch) auditFreed() int64 {
+	var n int64
+	for _, pool := range s.stash {
+		n += pool.FreedFlits()
 	}
 	return n
 }

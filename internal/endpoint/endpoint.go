@@ -145,6 +145,13 @@ func (e *Endpoint) Attach(toSw, fromSw *core.Link, inBufCap int) {
 // QueuedFlits returns the backlog awaiting injection in flits.
 func (e *Endpoint) QueuedFlits() int64 { return e.queuedFlits }
 
+// AuditCredits exposes the injection credit counter for the invariant
+// checker's credit-conservation audit.
+func (e *Endpoint) AuditCredits() *buffer.CreditCounter { return e.credits }
+
+// AuditLinks exposes the attached links (injection, ejection).
+func (e *Endpoint) AuditLinks() (toSw, fromSw *core.Link) { return e.toSw, e.fromSw }
+
 // EnqueueMessage segments a message into packets and queues them on the
 // destination's send queue. It must not be called with dst == e.ID.
 func (e *Endpoint) EnqueueMessage(dst int32, flits int, class proto.Class, msgID uint32) {

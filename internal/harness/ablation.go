@@ -51,7 +51,7 @@ func Ablations(o *Options) (*stats.Table, error) {
 		if a.mutate != nil {
 			a.mutate(cfg)
 		}
-		n := mustNet(cfg)
+		n := o.mustNet(cfg)
 		rng := sim.NewRNG(cfg.Seed + 4000)
 		rate := n.ChannelRate()
 		for _, ep := range n.Endpoints {

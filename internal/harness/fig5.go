@@ -35,7 +35,7 @@ func Fig5(o *Options) (*stats.Table, *stats.Table, error) {
 		accRow := []string{fmtF(load, 2)}
 		for _, v := range e2eVariants() {
 			cfg := o.netConfig(v.mode, v.capFrac, false)
-			n := mustNet(cfg)
+			n := o.mustNet(cfg)
 			rng := sim.NewRNG(cfg.Seed + 1000)
 			rate := n.ChannelRate()
 			for _, ep := range n.Endpoints {

@@ -45,7 +45,7 @@ func Fig6(o *Options) (*stats.Table, error) {
 		var baseCycles int64
 		for i, v := range e2eVariants() {
 			cfg := o.netConfig(v.mode, v.capFrac, false)
-			n := mustNet(cfg)
+			n := o.mustNet(cfg)
 			o.watchNet(n, budget/4)
 			rp, err := trace.NewReplay(tr, n, 0)
 			if err != nil {

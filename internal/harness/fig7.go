@@ -22,7 +22,7 @@ type hotspotScenario struct {
 }
 
 func newHotspot(o *Options, cfg *core.Config, start sim.Tick) *hotspotScenario {
-	n := mustNet(cfg)
+	n := o.mustNet(cfg)
 	d := cfg.Topo
 	rng := sim.NewRNG(cfg.Seed + 2000)
 	// Scale the paper's 48-source/12-destination aggressor with network

@@ -36,7 +36,7 @@ func Fig9(o *Options) (*stats.Table, error) {
 		row := []string{fmt.Sprint(b)}
 		for _, v := range congVariants() {
 			cfg := o.netConfig(v.mode, v.capFrac, true)
-			n := mustNet(cfg)
+			n := o.mustNet(cfg)
 			n.Collector.WithHist(proto.ClassVictim)
 			rng := sim.NewRNG(cfg.Seed + 3000)
 			rate := n.ChannelRate()

@@ -28,6 +28,12 @@ type Options struct {
 	Seed uint64
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Invariants enables the runtime invariant checker on every network
+	// the experiments build (the -invariants flag of cmd/figures).
+	Invariants bool
+	// InvariantsEvery is the audit interval in cycles; 0 means the
+	// default of 64.
+	InvariantsEvery int64
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -127,10 +133,17 @@ func congVariants() []variant {
 	}
 }
 
-func mustNet(cfg *core.Config) *network.Network {
+func (o *Options) mustNet(cfg *core.Config) *network.Network {
 	n, err := network.New(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
+	}
+	if o.Invariants {
+		every := o.InvariantsEvery
+		if every <= 0 {
+			every = 64
+		}
+		n.EnableInvariants(every)
 	}
 	return n
 }

@@ -9,10 +9,11 @@ import (
 func testOpts(t *testing.T) *Options {
 	t.Helper()
 	return &Options{
-		Preset: "tiny",
-		Quick:  true,
-		Seed:   1,
-		Log:    func(format string, args ...any) { t.Logf(format, args...) },
+		Preset:     "tiny",
+		Quick:      true,
+		Seed:       1,
+		Invariants: true,
+		Log:        func(format string, args ...any) { t.Logf(format, args...) },
 	}
 }
 

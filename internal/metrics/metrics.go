@@ -223,10 +223,10 @@ func (r *Registry) Sum(name string) int64 {
 // formatted with 4 decimal places, counters as integers; histogram handles
 // contribute count/mean/p99 summary rows.
 func (r *Registry) Table() *stats.Table {
-	t := &stats.Table{Header: []string{"scope", "metric", "value"}}
 	if r == nil {
-		return t
+		return &stats.Table{Header: []string{"scope", "metric", "value"}}
 	}
+	t := &stats.Table{Header: []string{"scope", "metric", "value"}}
 	r.Each(func(scope, name string, v float64) {
 		if v == float64(int64(v)) {
 			t.AddRow(scope, name, fmt.Sprintf("%d", int64(v)))
@@ -251,6 +251,9 @@ func (r *Registry) Table() *stats.Table {
 // TotalsTable renders the cross-scope counter sums (the compact view the
 // CLI prints by default).
 func (r *Registry) TotalsTable() *stats.Table {
+	if r == nil {
+		return &stats.Table{Header: []string{"metric", "total"}}
+	}
 	t := &stats.Table{Header: []string{"metric", "total"}}
 	names, values := r.Totals()
 	for i, n := range names {

@@ -37,6 +37,9 @@ func (s *Sampler) Every() int64 {
 
 // Probe registers one named probe function.
 func (s *Sampler) Probe(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
 	s.names = append(s.names, name)
 	s.fns = append(s.fns, fn)
 	s.series = append(s.series, stats.NewTimeSeries(s.every))
@@ -68,10 +71,10 @@ func (s *Sampler) Series(name string) *stats.TimeSeries {
 // Table renders all probes as one table with a shared cycle column; bins
 // a probe missed (registered late) render as empty cells.
 func (s *Sampler) Table() *stats.Table {
-	t := &stats.Table{Header: []string{"cycle"}}
 	if s == nil {
-		return t
+		return &stats.Table{Header: []string{"cycle"}}
 	}
+	t := &stats.Table{Header: []string{"cycle"}}
 	t.Header = append(t.Header, s.names...)
 	maxBins := 0
 	for _, ts := range s.series {
@@ -99,4 +102,9 @@ func (s *Sampler) Table() *stats.Table {
 }
 
 // CSV renders the sample table as RFC 4180 CSV.
-func (s *Sampler) CSV() string { return s.Table().CSV() }
+func (s *Sampler) CSV() string {
+	if s == nil {
+		return (&stats.Table{Header: []string{"cycle"}}).CSV()
+	}
+	return s.Table().CSV()
+}

@@ -138,6 +138,9 @@ func (t *Tracer) Len() int {
 //
 //	{"t":123,"ev":"inject","pkt":"2b00000001","node":4,"aux":-1,"src":43,"dst":7}
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	for _, ev := range t.Events() {
 		if _, err := fmt.Fprintf(bw, `{"t":%d,"ev":%q,"pkt":"%x","node":%d,"aux":%d,"src":%d,"dst":%d}`+"\n",
@@ -156,6 +159,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 // of trace time. Switch events land on pid 1 ("switches"), endpoint
 // events on pid 0 ("endpoints").
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`+"\n"); err != nil {
 		return err

@@ -30,6 +30,10 @@ type Network struct {
 	Sampler  *metrics.Sampler
 	Watchdog *metrics.Watchdog
 
+	// Invariants, when non-nil (EnableInvariants), audits the
+	// conservation laws at the end of each Step.
+	Invariants *core.Invariants
+
 	Now sim.Tick
 }
 
@@ -179,6 +183,62 @@ func (n *Network) AttachWatchdog(window int64, out io.Writer) *metrics.Watchdog 
 	return w
 }
 
+// EnableInvariants installs the runtime invariant checker, auditing the
+// conservation laws every `every` cycles (values below one audit every
+// cycle). It re-walks the topology to enumerate every credited edge:
+// switch→switch links paired with the downstream input buffer, and
+// endpoint→switch injection links paired with the end-port buffer.
+func (n *Network) EnableInvariants(every int64) *core.Invariants {
+	d := n.Cfg.Topo
+	iv := &core.Invariants{
+		Every:    every,
+		Switches: n.Switches,
+		ExtCreated: func() int64 {
+			var total int64
+			for _, ep := range n.Endpoints {
+				total += ep.SentFlits
+			}
+			return total
+		},
+		ExtDestroyed: func() int64 {
+			var total int64
+			for _, ep := range n.Endpoints {
+				total += ep.RecvFlits
+			}
+			return total
+		},
+	}
+	for _, ep := range n.Endpoints {
+		toSw, _ := ep.AuditLinks()
+		iv.ExtLinks = append(iv.ExtLinks, toSw)
+	}
+	for sw := 0; sw < d.NumSwitches(); sw++ {
+		s := n.Switches[sw]
+		for port := 0; port < d.Radix(); port++ {
+			if d.PortClass(port) == topo.Endpoint {
+				ep := n.Endpoints[d.EndpointID(sw, port)]
+				toSw, _ := ep.AuditLinks()
+				iv.Edges = append(iv.Edges, core.CreditEdge{
+					Name:    fmt.Sprintf("ep%d->sw%d.%d", ep.ID, sw, port),
+					Credits: ep.AuditCredits(),
+					Link:    toSw,
+					Buf:     s.AuditInBuf(port),
+				})
+				continue
+			}
+			nsw, nport := d.Neighbor(sw, port)
+			iv.Edges = append(iv.Edges, core.CreditEdge{
+				Name:    fmt.Sprintf("sw%d.%d->sw%d.%d", sw, port, nsw, nport),
+				Credits: s.AuditOutCredits(port),
+				Link:    s.AuditOutLink(port),
+				Buf:     n.Switches[nsw].AuditInBuf(nport),
+			})
+		}
+	}
+	n.Invariants = iv
+	return iv
+}
+
 // DumpNonIdle writes DumpState for every switch still holding flits.
 func (n *Network) DumpNonIdle(w io.Writer) {
 	for _, s := range n.Switches {
@@ -199,6 +259,7 @@ func (n *Network) Step() {
 	}
 	n.Sampler.MaybeSample(now)
 	n.Watchdog.Observe(now)
+	n.Invariants.Check(now)
 	n.Now++
 }
 
