@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke bench figures figures-paper examples clean
 
-all: build vet lint test race
+all: build vet lint test race fault-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ test:
 # the default per-package test timeout.
 race:
 	$(GO) test -race -short ./...
+
+# Fault-injection smoke: a short e2e run with per-link packet drops, the
+# invariant checker on, and a post-run drain that must end with every
+# injected packet delivered exactly once (nonzero exit otherwise). Guards
+# the recovery ladder (stash resend -> endpoint resend -> dedup) end to
+# end through the real CLI.
+fault-smoke:
+	$(GO) run ./cmd/stashsim -preset tiny -mode e2e -load 0.2 -warmup 0 \
+		-cycles 25000 -link-drop-rate 1e-3 -invariants \
+		-drain 150000 -assert-delivery -json > /dev/null
 
 # Reduced-scale benchmark harness: one benchmark per table/figure plus the
 # ablations. Full datasets come from `make figures`.

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"stashsim/internal/fault"
 	"stashsim/internal/harness"
 	"stashsim/internal/stats"
 	"stashsim/internal/viz"
@@ -46,13 +47,17 @@ func tableSeries(t *stats.Table, xCol int, yCols ...int) []viz.Series {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1,table2,fig5,fig6,fig7,fig8,fig9,ablations or all (comma separated)")
+	exp := flag.String("exp", "all", "experiment: table1,table2,fig5,fig6,fig7,fig8,fig9,ablations,faults or all (comma separated)")
 	preset := flag.String("preset", "small", "network scale: tiny, small, paper")
 	out := flag.String("out", "", "directory for CSV output")
 	quick := flag.Bool("quick", false, "shortened runs (smoke test)")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	invariants := flag.Bool("invariants", false, "audit runtime conservation invariants during the runs")
 	invariantsEvery := flag.Int64("invariants-every", 64, "invariant audit interval in cycles")
+	faultPlan := flag.String("fault-plan", "", "JSON fault plan injected into every experiment network")
+	dropRate := flag.Float64("link-drop-rate", 0, "per-packet drop probability injected into every experiment network")
+	outages := flag.String("link-outage", "", "outage windows (link@start-end, comma separated) injected into every experiment network")
+	stashFails := flag.String("stash-fail", "", "stash-bank failures (switch.port@cycle, comma separated) injected into every experiment network")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -92,6 +97,30 @@ func main() {
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
+	}
+	if *faultPlan != "" || *dropRate > 0 || *outages != "" || *stashFails != "" {
+		plan := &fault.Plan{Seed: *seed}
+		if *faultPlan != "" {
+			p, err := fault.LoadPlan(*faultPlan)
+			if err != nil {
+				log.Fatalf("%v", err)
+			}
+			plan = &p
+		}
+		if *dropRate > 0 {
+			plan.LinkDropRate = *dropRate
+		}
+		ows, err := fault.ParseOutages(*outages)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		plan.Outages = append(plan.Outages, ows...)
+		sfs, err := fault.ParseStashFails(*stashFails)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		plan.StashFailures = append(plan.StashFailures, sfs...)
+		o.FaultPlan = plan
 	}
 	log.SetFlags(log.Ltime)
 
@@ -200,6 +229,14 @@ func main() {
 		show("Figure 9: victim p90 latency vs aggressor burst size", t)
 		c := &viz.Chart{Title: "Fig 9 (shape)", XLabel: "burst pkts", YLabel: "victim p90 us"}
 		fmt.Println(c.Render(tableSeries(t, 0, 1, 2, 3)...))
+		return nil
+	})
+	run("faults", func() error {
+		t, err := harness.Faults(o)
+		if err != nil {
+			return err
+		}
+		show("Faults: recovery latency, stash-local vs source-endpoint resend", t)
 		return nil
 	})
 }

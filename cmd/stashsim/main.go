@@ -51,11 +51,32 @@ type runSummary struct {
 
 	Counters      core.Counters     `json:"counters"`
 	StashResident int               `json:"stash_resident_flits"`
+	Fault         *faultSummary     `json:"fault,omitempty"`
 	Metrics       map[string]int64  `json:"metrics,omitempty"`
 	TraceEvents   int               `json:"trace_events,omitempty"`
 	TraceDropped  int64             `json:"trace_dropped,omitempty"`
 	WatchdogStall int64             `json:"watchdog_stalls"`
 	Artifacts     map[string]string `json:"artifacts,omitempty"`
+}
+
+// faultSummary is the fault-injection and recovery section of the -json
+// output, present whenever a fault plan or the recovery timers are active.
+type faultSummary struct {
+	PktsDropped          int64   `json:"pkts_dropped"`
+	FlitsDropped         int64   `json:"flits_dropped"`
+	OutagePkts           int64   `json:"outage_pkts"`
+	FlitsCorrupted       int64   `json:"flits_corrupted"`
+	StashCopiesLost      int64   `json:"stash_copies_lost"`
+	InjectedPkts         int64   `json:"injected_pkts"`
+	DeliveredUnique      int64   `json:"delivered_unique"`
+	DuplicatesSuppressed int64   `json:"duplicates_suppressed"`
+	Abandoned            int64   `json:"abandoned"`
+	StashResends         int64   `json:"stash_resends"`
+	EndpointResends      int64   `json:"endpoint_resends"`
+	CorruptPkts          int64   `json:"corrupt_pkts"`
+	RecoveredPkts        int64   `json:"recovered_pkts"`
+	RecoveryMeanNS       float64 `json:"recovery_mean_ns"`
+	Drained              bool    `json:"drained"`
 }
 
 func fatalf(format string, args ...any) {
@@ -82,6 +103,16 @@ func main() {
 	flag.Float64Var(&sp.ErrRate, "errors", 0, "per-packet NACK probability (e2e retransmission)")
 	flag.BoolVar(&sp.Invariants, "invariants", false, "audit runtime conservation invariants during the run")
 	flag.Int64Var(&sp.InvariantsEvery, "invariants-every", 64, "invariant audit interval in cycles")
+	flag.StringVar(&sp.FaultPlanPath, "fault-plan", "", "JSON fault plan file (see internal/fault); flags below layer on top")
+	flag.Uint64Var(&sp.FaultSeed, "fault-seed", 0, "fault RNG seed (overrides the plan's)")
+	flag.Float64Var(&sp.DropRate, "link-drop-rate", 0, "per-packet Bernoulli drop probability on every link")
+	flag.Float64Var(&sp.CorruptRate, "corrupt-rate", 0, "per-flit payload-corruption probability (caught by checksums)")
+	flag.StringVar(&sp.Outages, "link-outage", "", "outage windows, comma-separated link@start-end (e.g. sw0.3->sw1.2@1000-3000)")
+	flag.StringVar(&sp.StashFails, "stash-fail", "", "stash-bank failures, comma-separated switch.port@cycle (e.g. 0.1@5000)")
+	flag.BoolVar(&sp.Retrans, "retrans", false, "enable recovery timers (auto-enabled when a plan drops packets in e2e mode)")
+	flag.BoolVar(&sp.StashBypass, "stash-bypass", false, "forward packets uncovered when the stash is full instead of stalling (endpoint timers recover)")
+	flag.Int64Var(&sp.Drain, "drain", 0, "after the measured window, run up to this many unloaded cycles until every packet settles")
+	assertDelivery := flag.Bool("assert-delivery", false, "with -drain, exit nonzero unless every injected packet delivered exactly once")
 
 	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")
 	metricsFull := flag.Bool("metrics-full", false, "with -metrics, print every per-switch/per-tile scope instead of totals")
@@ -168,6 +199,21 @@ func main() {
 	if n.Invariants != nil {
 		fmt.Fprintf(out, "invariants: %d audits, all laws held\n", n.Invariants.Checks)
 	}
+	if s.Fault != nil {
+		fs := s.Fault
+		fmt.Fprintf(out, "faults: %d pkts dropped (%d by outage), %d flits corrupted, %d stash copies lost\n",
+			fs.PktsDropped, fs.OutagePkts, fs.FlitsCorrupted, fs.StashCopiesLost)
+		fmt.Fprintf(out, "recovery: %d stash resends, %d endpoint resends, %d dups suppressed, %d abandoned; %d/%d delivered",
+			fs.StashResends, fs.EndpointResends, fs.DuplicatesSuppressed, fs.Abandoned,
+			fs.DeliveredUnique, fs.InjectedPkts)
+		if fs.RecoveredPkts > 0 {
+			fmt.Fprintf(out, "; recovered pkt latency mean %.0f ns", fs.RecoveryMeanNS)
+		}
+		fmt.Fprintln(out)
+		if sp.Drain > 0 && !fs.Drained {
+			fmt.Fprintf(out, "warning: network did not drain within %d cycles\n", sp.Drain)
+		}
+	}
 
 	if reg != nil {
 		if *metricsFull {
@@ -202,6 +248,9 @@ func main() {
 	}
 	if n.Watchdog != nil && n.Watchdog.Stalls > 0 {
 		fmt.Fprintf(out, "watchdog: %d zero-delivery window(s) detected\n", n.Watchdog.Stalls)
+	}
+	if n.Watchdog != nil && n.Watchdog.Suppressed > 0 {
+		fmt.Fprintf(out, "watchdog: %d zero-delivery window(s) explained by fault outages\n", n.Watchdog.Suppressed)
 	}
 
 	if *memprofile != "" {
@@ -243,6 +292,24 @@ func main() {
 		if err := enc.Encode(s); err != nil {
 			fatalf("json: %v", err)
 		}
+	}
+
+	if *assertDelivery {
+		if sp.Drain <= 0 {
+			fatalf("-assert-delivery requires -drain (in-flight packets would fail the check)")
+		}
+		if s.Fault == nil {
+			fatalf("-assert-delivery requires fault injection or -retrans")
+		}
+		fs := s.Fault
+		if !fs.Drained {
+			fatalf("assert-delivery: network did not drain within %d cycles", sp.Drain)
+		}
+		if fs.DeliveredUnique != fs.InjectedPkts || fs.Abandoned != 0 {
+			fatalf("assert-delivery: injected %d, delivered %d, abandoned %d — not exactly-once",
+				fs.InjectedPkts, fs.DeliveredUnique, fs.Abandoned)
+		}
+		fmt.Fprintf(out, "assert-delivery: all %d packets delivered exactly once\n", fs.InjectedPkts)
 	}
 }
 

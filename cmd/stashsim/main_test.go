@@ -44,6 +44,14 @@ func TestRunIsDeterministic(t *testing.T) {
 			Load: 0.5, MsgPkts: 1,
 			Cycles: 2000, Warmup: 200, Seed: 1,
 		},
+		"e2e-faulted-drain": {
+			Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+			Load: 0.3, MsgPkts: 1,
+			Cycles: 3000, Warmup: 500, Seed: 9,
+			DropRate: 2e-3, CorruptRate: 1e-3, FaultSeed: 5,
+			Drain:      400000,
+			Invariants: true, InvariantsEvery: 64,
+		},
 	}
 	for name, sp := range specs {
 		t.Run(name, func(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stashsim/internal/core"
+	"stashsim/internal/fault"
 	"stashsim/internal/network"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
@@ -30,6 +31,57 @@ type simSpec struct {
 	ErrRate         float64
 	Invariants      bool
 	InvariantsEvery int64
+
+	// Fault injection and recovery (see internal/fault). FaultPlanPath
+	// loads a JSON plan; the individual flags layer on top of (or replace)
+	// it. Retrans forces the recovery timers on; they also auto-enable
+	// whenever the plan drops packets in e2e mode. Drain > 0 runs up to
+	// that many extra unloaded cycles after the measured window so every
+	// in-flight or timer-pending packet settles.
+	FaultPlanPath string
+	FaultSeed     uint64
+	DropRate      float64
+	CorruptRate   float64
+	Outages       string
+	StashFails    string
+	Retrans       bool
+	StashBypass   bool
+	Drain         int64
+}
+
+// faultPlan materializes the spec's fault plan, nil when inactive.
+func (sp *simSpec) faultPlan() (*fault.Plan, error) {
+	plan := &fault.Plan{Seed: sp.FaultSeed}
+	if sp.FaultPlanPath != "" {
+		p, err := fault.LoadPlan(sp.FaultPlanPath)
+		if err != nil {
+			return nil, err
+		}
+		plan = &p
+		if sp.FaultSeed != 0 {
+			plan.Seed = sp.FaultSeed
+		}
+	}
+	if sp.DropRate > 0 {
+		plan.LinkDropRate = sp.DropRate
+	}
+	if sp.CorruptRate > 0 {
+		plan.CorruptRate = sp.CorruptRate
+	}
+	outages, err := fault.ParseOutages(sp.Outages)
+	if err != nil {
+		return nil, err
+	}
+	plan.Outages = append(plan.Outages, outages...)
+	fails, err := fault.ParseStashFails(sp.StashFails)
+	if err != nil {
+		return nil, err
+	}
+	plan.StashFailures = append(plan.StashFailures, fails...)
+	if !plan.Active() {
+		return nil, nil
+	}
+	return plan, nil
 }
 
 // config materializes the spec's network configuration.
@@ -73,6 +125,21 @@ func (sp *simSpec) config() (*core.Config, error) {
 		cfg.ErrorRate = sp.ErrRate
 		cfg.RetainPayload = true
 	}
+	plan, err := sp.faultPlan()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fault = plan
+	drops := plan != nil && (plan.LinkDropRate > 0 || len(plan.Outages) > 0)
+	if sp.Retrans || (drops && cfg.Mode == core.StashE2E) {
+		// Drops in e2e mode strand stash entries without the recovery
+		// ladder, so the timers switch on with the plan.
+		cfg.Retrans = core.DefaultRetrans()
+		if cfg.Mode == core.StashE2E {
+			cfg.RetainPayload = true
+		}
+	}
+	cfg.StashBypass = sp.StashBypass
 	return cfg, nil
 }
 
@@ -155,6 +222,14 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 	n.Warmup(sp.Warmup)
 	n.Run(sp.Cycles)
 
+	drained := true
+	if sp.Drain > 0 {
+		for _, ep := range n.Endpoints {
+			ep.Gen = nil
+		}
+		drained = n.Drain(sp.Drain)
+	}
+
 	victims := sp.victimClass()
 	lat := n.Collector.LatAcc[victims]
 	h := n.Collector.LatHist[victims]
@@ -174,5 +249,27 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 	s.Latency.Packets = lat.N
 	s.Counters = n.Counters()
 	s.StashResident = n.TotalStashUsed()
+	if n.Cfg.FaultActive() || n.Cfg.Retrans.Enabled {
+		st := n.FaultStats()
+		injected, delivered, dups, abandoned := n.DeliveryTotals()
+		rec := n.Collector.RecoveryAcc
+		s.Fault = &faultSummary{
+			PktsDropped:          st.PktsDropped,
+			FlitsDropped:         st.FlitsDropped,
+			OutagePkts:           st.OutagePkts,
+			FlitsCorrupted:       st.FlitsCorrupted,
+			StashCopiesLost:      st.StashCopiesLost,
+			InjectedPkts:         injected,
+			DeliveredUnique:      delivered,
+			DuplicatesSuppressed: dups,
+			Abandoned:            abandoned,
+			StashResends:         s.Counters.E2ERetransmits,
+			EndpointResends:      n.Collector.EndpointRetransmits,
+			CorruptPkts:          n.Collector.CorruptPkts,
+			RecoveredPkts:        n.Collector.RecoveredPkts,
+			RecoveryMeanNS:       rec.Mean() / 1.3,
+			Drained:              drained,
+		}
+	}
 	return &s
 }

@@ -35,6 +35,7 @@ var determinismPkgs = []string{
 	"internal/traffic",
 	"internal/harness",
 	"internal/endpoint",
+	"internal/fault",
 	"internal/proto",
 	"internal/network",
 	"internal/topo",

@@ -350,6 +350,95 @@ func TestStashPoolRetainAndRetransmit(t *testing.T) {
 	}
 }
 
+func TestStashPoolDeleteIdempotent(t *testing.T) {
+	p := NewStashPool(100, false)
+	p.Reserve(4)
+	for i := 0; i < 4; i++ {
+		p.PutCopy(proto.Flit{PktID: 7, Size: 4, Seq: uint8(i)})
+	}
+	if !p.Live(7) {
+		t.Fatal("completed copy not live")
+	}
+	p.Delete(7, 4)
+	// A racing second delete (duplicate ACK, or sideband delete arriving
+	// after a bank failure already freed the copy) must be a no-op, not an
+	// underflow panic.
+	p.Delete(7, 4)
+	if p.Used() != 0 || p.Free() != 100 || p.Live(7) {
+		t.Fatalf("pool state after double delete: used %d free %d", p.Used(), p.Free())
+	}
+}
+
+func TestStashPoolFailBankCompleted(t *testing.T) {
+	for _, retain := range []bool{false, true} {
+		p := NewStashPool(100, retain)
+		p.Reserve(3)
+		for i := 0; i < 3; i++ {
+			p.PutCopy(proto.Flit{PktID: 11, Size: 3, Seq: uint8(i)})
+		}
+		p.Reserve(2)
+		for i := 0; i < 2; i++ {
+			p.PutCopy(proto.Flit{PktID: 4, Size: 2, Seq: uint8(i)})
+		}
+		lost := p.FailBank()
+		if len(lost) != 2 || lost[0] != 4 || lost[1] != 11 {
+			t.Fatalf("retain=%v: lost %v, want [4 11] ascending", retain, lost)
+		}
+		if p.Used() != 0 || p.Free() != 100 {
+			t.Fatalf("retain=%v: space not freed: used %d", retain, p.Used())
+		}
+		if retain {
+			if _, ok := p.TakeCopy(11); ok {
+				t.Fatal("failed bank still serves retained payload")
+			}
+		}
+		// The later sideband delete for the lost copy must be a no-op.
+		p.Delete(11, 3)
+		if p.Used() != 0 {
+			t.Fatalf("retain=%v: delete after failure moved occupancy", retain)
+		}
+	}
+}
+
+func TestStashPoolFailBankPartial(t *testing.T) {
+	p := NewStashPool(100, true)
+	p.Reserve(4)
+	p.PutCopy(proto.Flit{PktID: 21, Size: 4, Seq: 0})
+	p.PutCopy(proto.Flit{PktID: 21, Size: 4, Seq: 1})
+	lost := p.FailBank()
+	if len(lost) != 1 || lost[0] != 21 {
+		t.Fatalf("lost %v, want [21]", lost)
+	}
+	// Two flits were resident (now freed); two still hold reservations.
+	if p.Used() != 2 || p.Reserved() != 2 {
+		t.Fatalf("used %d reserved %d after partial failure", p.Used(), p.Reserved())
+	}
+	// The stragglers arrive: each reservation converts to freed space, and
+	// the copy never reports completion.
+	if p.PutCopy(proto.Flit{PktID: 21, Size: 4, Seq: 2}) {
+		t.Fatal("dead copy reported completion")
+	}
+	if p.PutCopy(proto.Flit{PktID: 21, Size: 4, Seq: 3}) {
+		t.Fatal("dead copy reported completion at tail")
+	}
+	if p.Used() != 0 || p.Free() != 100 || p.Live(21) {
+		t.Fatalf("pool not clean after stragglers: used %d free %d", p.Used(), p.Free())
+	}
+	if p.FreedFlits() != 4 {
+		t.Fatalf("freed %d flits, want 4", p.FreedFlits())
+	}
+	// A fresh copy of the same packet (endpoint retransmission) stores
+	// normally afterwards.
+	p.Reserve(4)
+	done := false
+	for i := 0; i < 4; i++ {
+		done = p.PutCopy(proto.Flit{PktID: 21, Size: 4, Seq: uint8(i)})
+	}
+	if !done || !p.Live(21) {
+		t.Fatal("re-stash after bank failure broken")
+	}
+}
+
 func TestStashPoolOverReservePanics(t *testing.T) {
 	p := NewStashPool(10, false)
 	defer func() {

@@ -1,6 +1,10 @@
 package buffer
 
-import "stashsim/internal/proto"
+import (
+	"sort"
+
+	"stashsim/internal/proto"
+)
 
 // StashPool is the per-port stashing partition: the fraction of a port's
 // combined input and output buffer memory repurposed as switch-wide
@@ -22,6 +26,19 @@ type StashPool struct {
 	store         map[uint64][]proto.Flit
 	partial       map[uint64][]proto.Flit
 	retainPayload bool
+
+	// copies records the size of every live completed end-to-end copy,
+	// maintained whether or not the payload is retained. It makes Delete
+	// idempotent (a racing sideband delete after a bank failure is a
+	// no-op) and lets FailBank enumerate live copies without payload.
+	copies map[uint64]uint8
+
+	// dead tracks packets whose partially-arrived copy was invalidated by
+	// a bank failure: the value is the arrived-flit count so far. Their
+	// remaining in-flight flits still hold reservations; PutCopy converts
+	// each straggler's reservation straight into freed space and never
+	// reports completion for them.
+	dead map[uint64]uint8
 
 	// Congestion-mitigation bookkeeping: stashed packets queued for
 	// retrieval in FIFO order.
@@ -80,6 +97,17 @@ func (p *StashPool) Reserve(size int) {
 // originating end port.
 func (p *StashPool) PutCopy(f proto.Flit) bool {
 	p.reserved--
+	if n, ok := p.dead[f.PktID]; ok {
+		// Straggler of a bank-failed partial copy: its reservation becomes
+		// freed space immediately and the copy never completes.
+		p.freed++
+		if n+1 == f.Size {
+			delete(p.dead, f.PktID)
+		} else {
+			p.dead[f.PktID] = n + 1
+		}
+		return false
+	}
 	p.used++
 	if p.retainPayload {
 		if p.partial == nil {
@@ -97,6 +125,10 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 			p.store[f.PktID] = p.partial[f.PktID]
 			delete(p.partial, f.PktID)
 		}
+		if p.copies == nil {
+			p.copies = make(map[uint64]uint8)
+		}
+		p.copies[f.PktID] = f.Size
 		return true
 	}
 	p.arrived[f.PktID] = n
@@ -104,8 +136,14 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 }
 
 // Delete frees the space of a completed stash copy (positive ACK seen at
-// the originating end port).
+// the originating end port). It is idempotent: deleting a copy that is
+// not live — already deleted, or invalidated by a bank failure — is a
+// no-op, so racing sideband messages cannot underflow the pool.
 func (p *StashPool) Delete(pktID uint64, size int) {
+	if _, ok := p.copies[pktID]; !ok {
+		return
+	}
+	delete(p.copies, pktID)
 	p.used -= size
 	p.freed += int64(size)
 	if p.used < 0 {
@@ -114,6 +152,53 @@ func (p *StashPool) Delete(pktID uint64, size int) {
 	if p.retainPayload {
 		delete(p.store, pktID)
 	}
+}
+
+// Live reports whether a completed copy of the packet is resident.
+func (p *StashPool) Live(pktID uint64) bool {
+	_, ok := p.copies[pktID]
+	return ok
+}
+
+// FailBank models a stash-bank failure: every live end-to-end copy —
+// completed or still arriving — is invalidated and its space freed. It
+// returns the packet ids of the lost copies in ascending order, so the
+// switch can mark their tracking entries and recovery can fall back to
+// source-endpoint retransmission. Flits of invalidated partial copies
+// still in flight inside the switch are absorbed by PutCopy via the dead
+// set. Congestion-stashed packets (retrQ) model a distinct FIFO structure
+// and are not affected.
+func (p *StashPool) FailBank() []uint64 {
+	var lost []uint64
+	//lint:allow determinism -- map-key collection, sorted before use
+	for id, size := range p.copies {
+		lost = append(lost, id)
+		p.used -= int(size)
+		p.freed += int64(size)
+	}
+	clear(p.copies)
+	if p.retainPayload {
+		clear(p.store)
+	}
+	//lint:allow determinism -- map-key collection, sorted before use
+	for id, n := range p.arrived {
+		lost = append(lost, id)
+		p.used -= int(n)
+		p.freed += int64(n)
+		if p.dead == nil {
+			p.dead = make(map[uint64]uint8)
+		}
+		p.dead[id] = n
+		if p.retainPayload {
+			delete(p.partial, id)
+		}
+	}
+	clear(p.arrived)
+	if p.used < 0 {
+		panic("buffer: stash pool bank-failure underflow")
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	return lost
 }
 
 // TakeCopy removes and returns a retained stash copy for retransmission

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"stashsim/internal/fault"
 	"stashsim/internal/proto"
 	"stashsim/internal/route"
 	"stashsim/internal/topo"
@@ -82,6 +83,47 @@ func DefaultECN() ECNParams {
 	}
 }
 
+// RetransParams configures the timeout-driven retransmission ladder that
+// makes injected loss survivable: the first-hop switch resends its stash
+// copy after an ACK timeout (bounded retries, exponential backoff), and
+// the source endpoint retransmits as graceful degradation when no stash
+// copy covers the packet (stash full at injection, bank failed, or a
+// non-stashing mode). The zero value disables both timers, preserving
+// the pre-fault behavior exactly.
+type RetransParams struct {
+	// Enabled arms the switch-side and endpoint-side ACK timers.
+	Enabled bool
+	// SwitchTimeout is the base ACK timeout in cycles for the first-hop
+	// stash resend timer; each retry doubles it (exponential backoff).
+	SwitchTimeout int64
+	// SwitchRetries bounds stash resends; after exhaustion the switch
+	// abandons the copy and leaves recovery to the source endpoint.
+	SwitchRetries int
+	// EndpointTimeout is the base ACK timeout in cycles for source
+	// retransmission. It should comfortably exceed the switch timer's
+	// full backoff ladder so local recovery wins when possible.
+	EndpointTimeout int64
+	// EndpointRetries bounds source retransmissions per packet.
+	EndpointRetries int
+	// ScanEvery is the timer scan interval in cycles; timers fire on the
+	// first scan at or after their deadline.
+	ScanEvery int64
+}
+
+// DefaultRetrans returns enabled timers with defaults sized for the
+// simulated latencies: the switch timer covers several network RTTs, and
+// the endpoint timer exceeds the switch timer's full backoff ladder.
+func DefaultRetrans() RetransParams {
+	return RetransParams{
+		Enabled:         true,
+		SwitchTimeout:   8192,
+		SwitchRetries:   5,
+		EndpointTimeout: 65536,
+		EndpointRetries: 5,
+		ScanEvery:       64,
+	}
+}
+
 // Config describes one network build: topology, switch microarchitecture,
 // stashing mode, and protocol parameters. It is shared read-only by every
 // switch and endpoint.
@@ -143,7 +185,37 @@ type Config struct {
 	// endpoint NACKs a data packet (error-injection extension).
 	ErrorRate float64
 
+	// Retrans configures the timeout-driven recovery ladder.
+	Retrans RetransParams
+
+	// Fault, when non-nil and active, is the deterministic fault plan the
+	// network wiring materializes onto links and stash banks.
+	Fault *fault.Plan
+
+	// StashBypass lets a StashE2E end port forward a packet without a
+	// stash copy when join-shortest-queue finds no storage path, instead
+	// of stalling until space frees. Bypassed packets are covered by the
+	// source endpoint's retransmission timer only, so it requires
+	// Retrans.Enabled.
+	StashBypass bool
+
 	Seed uint64
+}
+
+// FaultActive reports whether an attached fault plan injects anything.
+func (c *Config) FaultActive() bool { return c.Fault.Active() }
+
+// VerifyChecksums reports whether destination endpoints must verify flit
+// checksums on ejection (the fault plan can corrupt payloads).
+func (c *Config) VerifyChecksums() bool {
+	return c.Fault != nil && c.Fault.CorruptRate > 0
+}
+
+// DedupDelivery reports whether destination endpoints must suppress
+// duplicate packet deliveries by PktID: any configuration that can
+// retransmit on a timer may race an original with its retransmit.
+func (c *Config) DedupDelivery() bool {
+	return c.Retrans.Enabled || c.FaultActive()
 }
 
 // Validate checks structural consistency.
@@ -169,6 +241,34 @@ func (c *Config) Validate() error {
 	}
 	if c.ErrorRate > 0 && !c.RetainPayload {
 		return fmt.Errorf("core: error injection requires RetainPayload for retransmission")
+	}
+	if c.Retrans.Enabled {
+		if !c.AcksEnabled {
+			return fmt.Errorf("core: retransmission timers require ACKs (nothing would ever settle)")
+		}
+		if c.Retrans.SwitchTimeout <= 0 || c.Retrans.EndpointTimeout <= 0 {
+			return fmt.Errorf("core: retransmission timers require positive timeouts")
+		}
+		if c.Retrans.ScanEvery <= 0 {
+			return fmt.Errorf("core: retransmission timers require a positive scan interval")
+		}
+		if c.Mode == StashE2E && !c.RetainPayload {
+			return fmt.Errorf("core: stash resend timers require RetainPayload")
+		}
+	}
+	if c.StashBypass && !c.Retrans.Enabled {
+		return fmt.Errorf("core: stash bypass forwards uncovered packets and requires retransmission timers")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if c.FaultActive() && !c.Retrans.Enabled && c.Mode == StashE2E {
+		// Without timers, an in-flight drop of a tracked packet would
+		// leave its stash entry resident forever and eventually wedge the
+		// pool. Corruption-only plans are fine: the NACK path recovers.
+		if c.Fault.LinkDropRate > 0 || len(c.Fault.Outages) > 0 {
+			return fmt.Errorf("core: fault plans that drop packets require Retrans.Enabled in e2e mode")
+		}
 	}
 	return nil
 }

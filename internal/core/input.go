@@ -128,10 +128,26 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 			sFree := p.sVC == -1 || p.sVC == int8(vc)
 			switch {
 			case cfg.Mode == StashE2E && p.isEnd && f.Kind == proto.Data:
+				if s.track[p.id][f.PktID] != nil {
+					// A source retransmission of a packet whose tracking
+					// entry is still live (its stash copy covers it, or
+					// the entry is marked lost awaiting abandonment):
+					// forward without minting a second copy, or the pool
+					// would leak one reservation per duplicate.
+					ok = normalOK
+					break
+				}
 				// Section IV-A: the packet advances only when both the
 				// normal path and a storage path are unblocked.
 				col, found := s.jsqColumn(row, slot, int(f.Size))
 				if !found {
+					if cfg.StashBypass {
+						// Graceful degradation: forward uncovered; the
+						// source endpoint's timer is the packet's only
+						// recovery. Counted per packet in moveFromInput.
+						ok = normalOK
+						break
+					}
 					s.Counters.StashFullStalls++
 					s.m.stashFullStalls.Inc()
 				} else if normalOK && sFree {
@@ -243,12 +259,23 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 			s.created++
 			s.tileAt(row, int(lt.stashCol)).push(cp, slot, proto.VCStore)
 			if f.Head() {
-				s.track[p.id][f.PktID] = &e2eEntry{size: f.Size, stashPort: -1}
+				e := &e2eEntry{size: f.Size, stashPort: -1}
+				if cfg.Retrans.Enabled {
+					e.deadline = now + cfg.Retrans.SwitchTimeout
+					s.retryQ = append(s.retryQ, retryRec{
+						deadline: e.deadline, pktID: f.PktID, port: uint8(p.id)})
+				}
+				s.track[p.id][f.PktID] = e
 				s.Counters.E2ETracked++
 				if s.m.jsqPick != nil {
 					s.m.jsqPick[lt.stashCol].Inc()
 				}
 			}
+		} else if cfg.Mode == StashE2E && p.isEnd && f.Kind == proto.Data &&
+			f.Head() && s.track[p.id][f.PktID] == nil {
+			// Bypass: an untracked data packet advanced without a stash
+			// copy (StashBypass on a full stash).
+			s.Counters.StashBypassed++
 		}
 	}
 	if lt.redirect || lt.stashCol >= 0 {

@@ -91,6 +91,7 @@ func (iv *Invariants) checkConservation(now sim.Tick) {
 	resident := int64(0)
 	for _, l := range iv.ExtLinks {
 		resident += int64(l.InFlightFlits())
+		destroyed += l.FaultDropped()
 		iv.checkLinkVCs(now, nil, l)
 	}
 	for _, s := range iv.Switches {
@@ -100,6 +101,7 @@ func (iv *Invariants) checkConservation(now sim.Tick) {
 		for p := 0; p < s.radix; p++ {
 			if l := s.out[p].link; l != nil {
 				resident += int64(l.InFlightFlits())
+				destroyed += l.FaultDropped()
 				iv.checkLinkVCs(now, s, l)
 			}
 		}

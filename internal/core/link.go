@@ -2,6 +2,7 @@ package core
 
 import (
 	"stashsim/internal/buffer"
+	"stashsim/internal/fault"
 	"stashsim/internal/proto"
 )
 
@@ -14,8 +15,20 @@ import (
 type Link struct {
 	Latency int64
 
+	// Fault, when non-nil, screens every transmitted flit for injected
+	// drops, outages, and corruption. Credited marks links whose producer
+	// runs credit-based flow control (endpoint→switch and switch→switch);
+	// on those, a dropped flit's credit is synthesized onto the reverse
+	// ring so the producer's credit count stays conserved.
+	Fault    *fault.LinkFault
+	Credited bool
+
 	flits   buffer.TimedRing
 	credits timedCreditRing
+
+	// faultDropped counts flits destroyed on this link by injected
+	// faults, the per-edge destruction term of the conservation law.
+	faultDropped int64
 }
 
 // NewLink builds a link with the given one-way latency in cycles.
@@ -27,9 +40,29 @@ func NewLink(latency int64) *Link {
 }
 
 // SendFlit transmits a flit at cycle now; it arrives at now+Latency.
+// When a fault injector is attached, the flit may be dropped on the wire
+// (whole packets at a time — see fault.LinkFault) or corrupted in place.
+// The producer has already taken a downstream credit for a dropped flit,
+// so on credited links the credit the receiver would have returned is
+// synthesized at the time it would have come back (one round trip);
+// without it the producer's credit pool would leak one slot per drop.
 func (l *Link) SendFlit(now int64, f proto.Flit) {
+	if l.Fault != nil && l.Fault.OnFlit(now, &f) {
+		l.faultDropped++
+		if l.Credited {
+			l.credits.push(timedCredit{
+				at: now + 2*l.Latency,
+				c:  proto.Credit{VC: f.VC, Shared: f.Flags&proto.FlagShared != 0},
+			})
+		}
+		return
+	}
 	l.flits.Push(buffer.TimedFlit{At: now + l.Latency, Flit: f})
 }
+
+// FaultDropped returns the number of flits destroyed on this link by
+// injected faults.
+func (l *Link) FaultDropped() int64 { return l.faultDropped }
 
 // RecvFlit returns the next flit whose arrival time has passed.
 func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {

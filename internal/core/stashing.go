@@ -1,6 +1,7 @@
 package core
 
 import (
+	"stashsim/internal/fault"
 	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
@@ -99,7 +100,19 @@ func (s *Switch) stepSideband(now sim.Tick) {
 func (s *Switch) onLocation(now sim.Tick, m sbMsg) {
 	e := s.track[m.dst][m.pktID]
 	if e == nil {
+		if s.cfg.Retrans.Enabled || s.cfg.FaultActive() {
+			// The entry was abandoned (retry exhaustion) while the
+			// location report was in flight: free the orphan copy.
+			s.sbSend(now, sbDelete, m.pktID, m.aux, 0, m.size)
+			return
+		}
 		panic("core: location message for untracked packet")
+	}
+	if e.lost {
+		// The copy this report names was invalidated by a bank failure
+		// while the report was in flight; recording its location would
+		// resurrect a pointer into a dead pool.
+		return
 	}
 	switch {
 	case e.acked:
@@ -124,7 +137,19 @@ func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 		// retransmissions); nothing left to do.
 		return
 	}
+	if e.lost {
+		// No stash copy remains. A positive ACK settles the entry with
+		// nothing to free; a NACK leaves recovery to the source
+		// endpoint's timer.
+		if f.Flags&proto.FlagNack == 0 {
+			delete(s.track[port], f.PktID)
+		}
+		return
+	}
 	if f.Flags&proto.FlagNack != 0 {
+		if s.cfg.Retrans.Enabled && !s.armRetry(now, port, f.PktID, e) {
+			return
+		}
 		if e.stashPort >= 0 {
 			s.sbSend(now, sbRetransmit, f.PktID, uint8(e.stashPort), uint8(port), e.size)
 		} else {
@@ -139,6 +164,106 @@ func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 	} else {
 		e.acked = true
 	}
+}
+
+// armRetry charges one retry attempt to a tracked entry and re-arms its
+// ACK timer with exponential backoff. It returns false when the retry
+// budget is exhausted, in which case the entry has been abandoned (stash
+// copy freed, recovery left to the source endpoint's timer).
+func (s *Switch) armRetry(now sim.Tick, port int, pktID uint64, e *e2eEntry) bool {
+	rp := &s.cfg.Retrans
+	if int(e.retries) >= rp.SwitchRetries {
+		s.abandonEntry(now, port, pktID, e)
+		return false
+	}
+	e.retries++
+	e.deadline = now + fault.Backoff(rp.SwitchTimeout, int(e.retries))
+	s.retryQ = append(s.retryQ, retryRec{deadline: e.deadline, pktID: pktID, port: uint8(port)})
+	return true
+}
+
+// abandonEntry gives up on local (stash) recovery of a tracked packet:
+// the copy's space is freed and the tracking entry removed. The source
+// endpoint's retransmission timer is now the packet's only cover.
+func (s *Switch) abandonEntry(now sim.Tick, port int, pktID uint64, e *e2eEntry) {
+	if e.stashPort >= 0 && !e.lost {
+		s.sbSend(now, sbDelete, pktID, uint8(e.stashPort), 0, e.size)
+	}
+	delete(s.track[port], pktID)
+	s.Counters.RetryAbandoned++
+}
+
+// stepRetry scans the armed ACK timers every Retrans.ScanEvery cycles.
+// Stale records (entry settled, or re-armed under a different deadline)
+// are dropped; due records trigger a stash resend and re-arm with
+// backoff, or abandon the entry once the retry budget is spent.
+func (s *Switch) stepRetry(now sim.Tick) {
+	rp := &s.cfg.Retrans
+	if !rp.Enabled || len(s.retryQ) == 0 {
+		return
+	}
+	if rp.ScanEvery > 1 && now%rp.ScanEvery != 0 {
+		return
+	}
+	n := len(s.retryQ)
+	w := 0
+	for i := 0; i < n; i++ {
+		rec := s.retryQ[i]
+		e := s.track[rec.port][rec.pktID]
+		if e == nil || e.deadline != rec.deadline {
+			continue
+		}
+		if rec.deadline > now {
+			s.retryQ[w] = rec
+			w++
+			continue
+		}
+		s.Counters.RetryTimeouts++
+		if e.lost {
+			s.abandonEntry(now, int(rec.port), rec.pktID, e)
+			continue
+		}
+		if !s.armRetry(now, int(rec.port), rec.pktID, e) {
+			continue
+		}
+		if e.stashPort >= 0 {
+			s.sbSend(now, sbRetransmit, rec.pktID, uint8(e.stashPort), rec.port, e.size)
+		}
+		// stashPort < 0: the location report is still in flight (it
+		// cannot be lost — the side band is fault-free); the re-armed
+		// timer covers the wait.
+	}
+	// Keep the records armed during this scan, then drop the consumed
+	// prefix.
+	s.retryQ = append(s.retryQ[:w], s.retryQ[n:]...)
+}
+
+// FailStashBank injects a stash-bank failure at the given port: every
+// live end-to-end copy in the pool is invalidated and its tracking entry
+// marked lost, degrading those packets to endpoint-timer recovery. It
+// returns the number of copies lost.
+func (s *Switch) FailStashBank(now sim.Tick, port int) int {
+	lost := s.stash[port].FailBank()
+	for _, pktID := range lost {
+		for p := range s.track {
+			e := s.track[p][pktID]
+			if e == nil {
+				continue
+			}
+			if e.acked {
+				// The ACK already settled delivery and was waiting for
+				// the location report to free the copy; the failure
+				// freed it, so the entry is complete.
+				delete(s.track[p], pktID)
+			} else {
+				e.lost = true
+				e.stashPort = -1
+			}
+			break
+		}
+	}
+	s.Counters.StashCopiesLost += int64(len(lost))
+	return len(lost)
 }
 
 // retransmit re-injects a retained stash copy into the network from the
@@ -169,7 +294,8 @@ func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 		fl.Hops = 0
 		fl.Phase = dec.Phase
 		fl.MidGroup = dec.MidGroup
-		fl.Flags = (fl.Flags &^ (proto.FlagNonMinimal | proto.FlagECN)) | proto.FlagStashCopy
+		fl.Flags = (fl.Flags &^ (proto.FlagNonMinimal | proto.FlagECN)) |
+			proto.FlagStashCopy | proto.FlagRetransmit
 		if dec.NonMinimal {
 			fl.Flags |= proto.FlagNonMinimal
 		}

@@ -28,6 +28,10 @@ type Counters struct {
 	CongStashed     int64 // packets absorbed by congestion stashing
 	CongStashedVict int64 // victim-class packets absorbed (diagnostics)
 	HoLAbsorbed     int64 // HoL-blocked packets diverted to stash at the input
+	RetryTimeouts   int64 // switch-side ACK timeouts fired
+	RetryAbandoned  int64 // tracked packets abandoned after retry exhaustion or copy loss
+	StashCopiesLost int64 // live stash copies invalidated by injected bank failures
+	StashBypassed   int64 // packets forwarded without a stash copy (bypass on full stash)
 }
 
 // switchMetrics holds the per-switch registry handles. It is a value
@@ -133,6 +137,22 @@ type e2eEntry struct {
 	stashPort int16 // -1 until the location message arrives
 	acked     bool
 	nacked    bool
+
+	// Retransmission-timer state (Retrans.Enabled only).
+	deadline int64 // cycle the armed ACK timer fires; doubles per retry
+	retries  uint8 // stash resends attempted so far
+	lost     bool  // the stash copy was invalidated by a bank failure
+}
+
+// retryRec is one armed switch-side ACK timer. Records live in an
+// append-ordered slice scanned lazily: a record whose entry has settled,
+// or whose deadline no longer matches the entry (re-armed with backoff),
+// is stale and dropped on the next scan. This keeps the timer wheel free
+// of map iteration, preserving the determinism contract.
+type retryRec struct {
+	deadline int64
+	pktID    uint64
+	port     uint8
 }
 
 // Switch is one tiled (optionally stashing) switch instance.
@@ -150,6 +170,7 @@ type Switch struct {
 
 	sideband sbRing
 	track    []map[uint64]*e2eEntry // per end port
+	retryQ   []retryRec             // armed switch-side ACK timers
 
 	// created counts flits minted inside this switch: end-to-end stash
 	// duplicates dropped off the row bus and retransmission copies taken
@@ -448,6 +469,7 @@ func (s *Switch) BufferFill() (inUsed, inCap, outUsed, outCap int) {
 // last so flits that land at cycle t first compete for the row bus at t+1.
 func (s *Switch) Step(now sim.Tick) {
 	s.m.cycles.Inc()
+	s.stepRetry(now)
 	s.stepSideband(now)
 	for p := range s.out {
 		s.stepOutput(now, &s.out[p])

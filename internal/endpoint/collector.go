@@ -28,6 +28,21 @@ type Collector struct {
 	Acks          int64
 	Errors        int64
 	WindowShrinks int64
+
+	// Fault-recovery accounting. DuplicatesSuppressed counts data packets
+	// discarded at destinations because a copy already delivered (original
+	// racing its retransmit); CorruptPkts counts checksum failures NACKed;
+	// EndpointRetransmits and RetransAbandons count source-timer resends
+	// and give-ups; RecoveredPkts counts deliveries of retransmitted
+	// packets, whose end-to-end recovery latency feeds RecoveryAcc (and
+	// RecoveryHist when allocated).
+	DuplicatesSuppressed int64
+	CorruptPkts          int64
+	EndpointRetransmits  int64
+	RetransAbandons      int64
+	RecoveredPkts        int64
+	RecoveryAcc          stats.Acc
+	RecoveryHist         *stats.Hist
 }
 
 // NewCollector returns an enabled collector with no optional sinks.
@@ -42,6 +57,12 @@ func (c *Collector) WithHist(class proto.Class) *Collector {
 // WithSeries allocates a latency time series for the given class.
 func (c *Collector) WithSeries(class proto.Class, binWidth int64) *Collector {
 	c.Series[class] = stats.NewTimeSeries(binWidth)
+	return c
+}
+
+// WithRecoveryHist allocates the recovery-latency histogram.
+func (c *Collector) WithRecoveryHist() *Collector {
+	c.RecoveryHist = &stats.Hist{}
 	return c
 }
 
@@ -93,6 +114,51 @@ func (c *Collector) WindowShrink() {
 	c.WindowShrinks++
 }
 
+// Duplicate records one suppressed duplicate delivery.
+func (c *Collector) Duplicate() {
+	if !c.Enabled {
+		return
+	}
+	c.DuplicatesSuppressed++
+}
+
+// Corrupt records one checksum failure detected at a destination.
+func (c *Collector) Corrupt() {
+	if !c.Enabled {
+		return
+	}
+	c.CorruptPkts++
+}
+
+// Retransmit records one source-timer retransmission.
+func (c *Collector) Retransmit() {
+	if !c.Enabled {
+		return
+	}
+	c.EndpointRetransmits++
+}
+
+// RetransAbandon records one packet given up after retry exhaustion.
+func (c *Collector) RetransAbandon() {
+	if !c.Enabled {
+		return
+	}
+	c.RetransAbandons++
+}
+
+// Recovered records the delivery of a retransmitted packet and its
+// end-to-end recovery latency (delivery cycle minus original birth).
+func (c *Collector) Recovered(latency int64) {
+	if !c.Enabled {
+		return
+	}
+	c.RecoveredPkts++
+	c.RecoveryAcc.Add(float64(latency))
+	if c.RecoveryHist != nil {
+		c.RecoveryHist.Add(latency)
+	}
+}
+
 // Reset clears all measurements (optional sinks keep their configuration).
 func (c *Collector) Reset() {
 	for i := range c.LatAcc {
@@ -110,6 +176,15 @@ func (c *Collector) Reset() {
 	c.Acks = 0
 	c.Errors = 0
 	c.WindowShrinks = 0
+	c.DuplicatesSuppressed = 0
+	c.CorruptPkts = 0
+	c.EndpointRetransmits = 0
+	c.RetransAbandons = 0
+	c.RecoveredPkts = 0
+	c.RecoveryAcc = stats.Acc{}
+	if c.RecoveryHist != nil {
+		c.RecoveryHist = &stats.Hist{}
+	}
 }
 
 // TotalDeliveredFlits sums delivered data flits over all classes.

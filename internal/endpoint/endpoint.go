@@ -8,6 +8,7 @@ package endpoint
 import (
 	"stashsim/internal/buffer"
 	"stashsim/internal/core"
+	"stashsim/internal/fault"
 	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
@@ -57,11 +58,34 @@ type window struct {
 // curPkt is the packet currently being injected (wormhole: it finishes
 // before any other traffic may use the injection channel).
 type curPkt struct {
-	active bool
-	desc   pktDesc
-	pktID  uint64
-	birth  int64
-	seq    uint8
+	active  bool
+	retrans bool // source retransmission: reuses the original PktID/Birth
+	desc    pktDesc
+	pktID   uint64
+	birth   int64
+	seq     uint8
+}
+
+// outPkt is the source-side record of an unacknowledged data packet
+// (Retrans.Enabled only): everything needed to rebuild and resend it.
+type outPkt struct {
+	desc     pktDesc
+	birth    int64
+	deadline int64 // armed ACK timer; doubles per retry
+	retries  uint8
+}
+
+// epTimer is one armed source ACK timer; like the switch's retryRec,
+// records are append-ordered and lazily discarded when stale.
+type epTimer struct {
+	deadline int64
+	pktID    uint64
+}
+
+// rtxItem is one packet queued for source retransmission.
+type rtxItem struct {
+	pktID uint64
+	size  uint8
 }
 
 // Delivery is passed to the trace engine's completion hook.
@@ -95,6 +119,18 @@ type Endpoint struct {
 	windows map[int32]*window
 
 	rxECN [proto.NumNetVCs]bool
+	rxBad [proto.NumNetVCs]bool // checksum failure seen in the packet so far
+
+	// Delivery dedup (DedupDelivery configs): PktIDs already delivered.
+	// Duplicates are re-ACKed but not delivered twice.
+	seen map[uint64]struct{}
+
+	// Source retransmission state (Retrans.Enabled): unacknowledged data
+	// packets, their armed timers, and the resend queue.
+	outstanding map[uint64]*outPkt
+	outTimers   []epTimer
+	rtxQ        []rtxItem
+	rtxHead     int
 
 	// Gen, when non-nil, is invoked at the start of every cycle to
 	// generate traffic (assigned by the harness).
@@ -117,6 +153,19 @@ type Endpoint struct {
 	// use it as an always-on progress signal.
 	RecvFlits int64
 
+	// Exactly-once delivery accounting, never warmup-gated (drain and
+	// delivery assertions span the whole run): InjectedPkts counts
+	// distinct data packets started (retransmissions excluded),
+	// DeliveredUnique counts first deliveries at this endpoint,
+	// DupDelivered counts suppressed duplicates, Retransmits counts
+	// source-timer resends, and Abandoned counts packets given up after
+	// retry exhaustion.
+	InjectedPkts    int64
+	DeliveredUnique int64
+	DupDelivered    int64
+	Retransmits     int64
+	Abandoned       int64
+
 	// Tracer, when non-nil, receives packet-lifecycle events (inject,
 	// eject, ack) from this endpoint.
 	Tracer *metrics.Tracer
@@ -124,13 +173,20 @@ type Endpoint struct {
 
 // New builds endpoint id. Links and credits are attached by the network.
 func New(id int32, cfg *core.Config, rng *sim.RNG) *Endpoint {
-	return &Endpoint{
+	e := &Endpoint{
 		ID:      id,
 		cfg:     cfg,
 		rng:     rng.Derive(0x45505453 ^ uint64(id)),
 		queues:  make(map[int32]*sendQ),
 		windows: make(map[int32]*window),
 	}
+	if cfg.DedupDelivery() {
+		e.seen = make(map[uint64]struct{})
+	}
+	if cfg.Retrans.Enabled {
+		e.outstanding = make(map[uint64]*outPkt)
+	}
+	return e
 }
 
 // Attach wires the endpoint's links: toSw carries injected flits (credits
@@ -184,10 +240,12 @@ func (e *Endpoint) Step(now sim.Tick) {
 		e.Gen(now, e)
 	}
 	e.stepRecv(now)
+	e.stepRetrans(now)
 	e.stepInject(now)
 }
 
 func (e *Endpoint) stepRecv(now sim.Tick) {
+	verify := e.cfg.VerifyChecksums()
 	for {
 		f, ok := e.fromSw.RecvFlit(now)
 		if !ok {
@@ -196,15 +254,32 @@ func (e *Endpoint) stepRecv(now sim.Tick) {
 		e.RecvFlits++
 		if f.Head() {
 			e.rxECN[f.VC] = f.Flags&proto.FlagECN != 0
+			e.rxBad[f.VC] = false
+		}
+		if verify && proto.FlitSum(&f) != f.Csum {
+			e.rxBad[f.VC] = true
 		}
 		if !f.Tail() {
 			continue
 		}
+		corrupt := verify && e.rxBad[f.VC]
 		if f.Kind == proto.ACK {
+			if corrupt {
+				// A corrupted ACK is discarded; the sender's timers
+				// recover (resend -> duplicate -> suppressed -> re-ACK).
+				continue
+			}
 			e.onAck(now, &f)
 			continue
 		}
 		// Data packet fully arrived.
+		if corrupt {
+			e.pushAck(now, &f, true)
+			if e.Collector != nil {
+				e.Collector.Corrupt()
+			}
+			continue
+		}
 		if e.cfg.ErrorRate > 0 && e.rng.Bernoulli(e.cfg.ErrorRate) {
 			// Error-injection extension: corrupt arrival, NACK it.
 			e.pushAck(now, &f, true)
@@ -213,15 +288,102 @@ func (e *Endpoint) stepRecv(now sim.Tick) {
 			}
 			continue
 		}
+		if e.seen != nil {
+			if _, dup := e.seen[f.PktID]; dup {
+				// Exactly-once delivery: suppress the duplicate but still
+				// acknowledge it, or a sender whose first ACK was lost
+				// would resend forever.
+				e.DupDelivered++
+				if e.Collector != nil {
+					e.Collector.Duplicate()
+				}
+				if e.cfg.AcksEnabled {
+					e.pushAck(now, &f, false)
+				}
+				continue
+			}
+			e.seen[f.PktID] = struct{}{}
+		}
+		e.DeliveredUnique++
 		e.Tracer.Record(now, metrics.EvEject, f.PktID, e.ID, -1, f.Src, f.Dst)
 		if e.Collector != nil {
 			e.Collector.Packet(now, f.Class, now-f.Birth, int64(f.Size))
+			if f.Flags&proto.FlagRetransmit != 0 {
+				// Birth is preserved across resends, so this is the full
+				// loss-to-recovery latency.
+				e.Collector.Recovered(now - f.Birth)
+			}
 		}
 		if e.OnDelivered != nil {
 			e.OnDelivered(Delivery{Now: now, Src: f.Src, MsgID: f.MsgID, Flits: int(f.Size)})
 		}
 		if e.cfg.AcksEnabled {
 			e.pushAck(now, &f, false)
+		}
+	}
+}
+
+// stepRetrans scans the armed source ACK timers every Retrans.ScanEvery
+// cycles, queueing due packets for retransmission with exponential
+// backoff and abandoning them once the retry budget is spent.
+func (e *Endpoint) stepRetrans(now sim.Tick) {
+	rp := &e.cfg.Retrans
+	if !rp.Enabled || len(e.outTimers) == 0 {
+		return
+	}
+	if rp.ScanEvery > 1 && now%rp.ScanEvery != 0 {
+		return
+	}
+	n := len(e.outTimers)
+	w := 0
+	for i := 0; i < n; i++ {
+		rec := e.outTimers[i]
+		o := e.outstanding[rec.pktID]
+		if o == nil || o.deadline != rec.deadline {
+			continue // acknowledged or re-armed; stale record
+		}
+		if rec.deadline > now {
+			e.outTimers[w] = rec
+			w++
+			continue
+		}
+		if int(o.retries) >= rp.EndpointRetries {
+			e.abandon(rec.pktID, o)
+			continue
+		}
+		e.resend(now, rec.pktID, o)
+	}
+	e.outTimers = append(e.outTimers[:w], e.outTimers[n:]...)
+}
+
+// resend charges one retry, re-arms the packet's timer with backoff, and
+// queues it for injection.
+func (e *Endpoint) resend(now sim.Tick, pktID uint64, o *outPkt) {
+	o.retries++
+	o.deadline = now + fault.Backoff(e.cfg.Retrans.EndpointTimeout, int(o.retries))
+	e.outTimers = append(e.outTimers, epTimer{deadline: o.deadline, pktID: pktID})
+	e.rtxQ = append(e.rtxQ, rtxItem{pktID: pktID, size: o.desc.size})
+	e.queuedFlits += int64(o.desc.size)
+	e.Retransmits++
+	if e.Collector != nil {
+		e.Collector.Retransmit()
+	}
+}
+
+// abandon gives up on an unacknowledged packet after retry exhaustion,
+// releasing its transmission-window share so the destination is not
+// permanently penalized.
+func (e *Endpoint) abandon(pktID uint64, o *outPkt) {
+	delete(e.outstanding, pktID)
+	e.Abandoned++
+	if e.Collector != nil {
+		e.Collector.RetransAbandon()
+	}
+	if e.cfg.ECN.Enabled {
+		w := e.window(o.desc.dst)
+		w.inflight -= int(o.desc.size)
+		if w.inflight < 0 {
+			w.inflight = 0
 		}
 	}
 }
@@ -237,7 +399,7 @@ func (e *Endpoint) pushAck(now sim.Tick, f *proto.Flit, nack bool) {
 	if nack {
 		flags |= proto.FlagNack
 	}
-	e.ackQ = append(e.ackQ, proto.Flit{
+	ack := proto.Flit{
 		Src:      e.ID,
 		Dst:      f.Src,
 		MsgID:    uint32(f.Size),
@@ -248,7 +410,11 @@ func (e *Endpoint) pushAck(now sim.Tick, f *proto.Flit, nack bool) {
 		Flags:    flags,
 		Class:    f.Class,
 		MidGroup: -1,
-	})
+	}
+	if e.cfg.VerifyChecksums() {
+		ack.Csum = proto.FlitSum(&ack)
+	}
+	e.ackQ = append(e.ackQ, ack)
 }
 
 func (e *Endpoint) stepInject(now sim.Tick) {
@@ -294,6 +460,28 @@ func (e *Endpoint) nextFlit(now sim.Tick) (proto.Flit, bool) {
 			e.ackHead = 0
 		}
 		return f, true
+	}
+	for e.rtxHead < len(e.rtxQ) {
+		item := e.rtxQ[e.rtxHead]
+		e.rtxHead++
+		if e.rtxHead == len(e.rtxQ) {
+			e.rtxQ = e.rtxQ[:0]
+			e.rtxHead = 0
+		}
+		o := e.outstanding[item.pktID]
+		if o == nil {
+			// Acknowledged or abandoned while queued; drop its backlog share.
+			e.queuedFlits -= int64(item.size)
+			continue
+		}
+		e.cur = curPkt{
+			active:  true,
+			retrans: true,
+			desc:    o.desc,
+			pktID:   item.pktID,
+			birth:   o.birth,
+		}
+		return e.emit(), true
 	}
 	if !e.startPacket(now) {
 		return proto.Flit{}, false
@@ -352,6 +540,13 @@ func (e *Endpoint) startPacket(now sim.Tick) bool {
 			birth:  now,
 		}
 		e.pktSeq++
+		e.InjectedPkts++
+		if e.cfg.Retrans.Enabled {
+			o := &outPkt{desc: desc, birth: now,
+				deadline: now + e.cfg.Retrans.EndpointTimeout}
+			e.outstanding[e.cur.pktID] = o
+			e.outTimers = append(e.outTimers, epTimer{deadline: o.deadline, pktID: e.cur.pktID})
+		}
 		return true
 	}
 	if scan < n {
@@ -388,16 +583,38 @@ func (e *Endpoint) emit() proto.Flit {
 		f.Flags |= proto.FlagTail
 		c.active = false
 	}
+	if c.retrans {
+		f.Flags |= proto.FlagRetransmit
+	}
+	if e.cfg.VerifyChecksums() {
+		f.Csum = proto.FlitSum(&f)
+	}
 	c.seq++
 	e.queuedFlits--
 	return f
 }
 
-// onAck settles the transmission window for the acknowledged destination.
+// onAck settles the transmission window for the acknowledged destination
+// and retires (or, in modes without a switch stash covering the packet,
+// resends) the source's outstanding record.
 func (e *Endpoint) onAck(now sim.Tick, f *proto.Flit) {
 	e.Tracer.Record(now, metrics.EvAck, f.PktID, e.ID, -1, f.Src, f.Dst)
 	if e.Collector != nil {
 		e.Collector.Ack()
+	}
+	if f.Flags&proto.FlagNack == 0 {
+		delete(e.outstanding, f.PktID)
+	} else if e.cfg.Retrans.Enabled && e.cfg.Mode != core.StashE2E {
+		// NACK without a stash-resident copy: the source is the only
+		// recovery path, so respond immediately rather than waiting for
+		// the timer. In StashE2E the first-hop stash resends instead.
+		if o := e.outstanding[f.PktID]; o != nil {
+			if int(o.retries) >= e.cfg.Retrans.EndpointRetries {
+				e.abandon(f.PktID, o)
+			} else {
+				e.resend(now, f.PktID, o)
+			}
+		}
 	}
 	if !e.cfg.ECN.Enabled {
 		return

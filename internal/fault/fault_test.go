@@ -1,0 +1,306 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stashsim/internal/proto"
+)
+
+// mkFlit builds the i-th flit of an n-flit packet.
+func mkFlit(pktID uint64, vc uint8, i, n int) *proto.Flit {
+	f := &proto.Flit{PktID: pktID, VC: vc, Seq: uint8(i), Size: uint8(n)}
+	if i == 0 {
+		f.Flags |= proto.FlagHead
+	}
+	if i == n-1 {
+		f.Flags |= proto.FlagTail
+	}
+	return f
+}
+
+// TestDropIsWholePacket verifies the per-VC drop latch: once a head flit
+// is dropped, every remaining flit of that packet on the same VC is
+// dropped, and the next packet gets a fresh decision.
+func TestDropIsWholePacket(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, LinkDropRate: 0.5})
+	lf := in.Link("sw0.0->sw1.0")
+	if lf == nil {
+		t.Fatal("expected active link fault")
+	}
+	const pkts, size = 2000, 4
+	for p := 0; p < pkts; p++ {
+		dropped := 0
+		for i := 0; i < size; i++ {
+			if lf.OnFlit(0, mkFlit(uint64(p+1), 0, i, size)) {
+				dropped++
+			}
+		}
+		if dropped != 0 && dropped != size {
+			t.Fatalf("packet %d partially dropped: %d of %d flits", p, dropped, size)
+		}
+	}
+	if in.Stats.PktsDropped == 0 || in.Stats.PktsDropped == pkts {
+		t.Fatalf("drop rate 0.5 dropped %d of %d packets", in.Stats.PktsDropped, pkts)
+	}
+	if in.Stats.FlitsDropped != in.Stats.PktsDropped*size {
+		t.Fatalf("flit count %d inconsistent with %d dropped packets of size %d",
+			in.Stats.FlitsDropped, in.Stats.PktsDropped, size)
+	}
+}
+
+// TestDropLatchPerVC verifies that a drop on one VC does not leak onto an
+// interleaved packet on another VC of the same link.
+func TestDropLatchPerVC(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Outages: []Outage{{Link: "l", Start: 0, End: 10}}})
+	lf := in.Link("l")
+	// Head of packet 1 on VC 0 inside the outage: dropped, latch armed.
+	if !lf.OnFlit(5, mkFlit(1, 0, 0, 3)) {
+		t.Fatal("head inside outage not dropped")
+	}
+	// Packet 2's body flits on VC 1 after the outage must pass.
+	if lf.OnFlit(20, mkFlit(2, 1, 1, 3)) {
+		t.Fatal("unrelated VC caught by drop latch")
+	}
+	// Packet 1's remaining flits on VC 0 are dropped even after the window.
+	if !lf.OnFlit(20, mkFlit(1, 0, 1, 3)) || !lf.OnFlit(21, mkFlit(1, 0, 2, 3)) {
+		t.Fatal("latched packet flits not dropped")
+	}
+	// A fresh packet on VC 0 after the tail cleared the latch passes.
+	if lf.OnFlit(30, mkFlit(3, 0, 0, 1)) {
+		t.Fatal("latch not cleared by tail")
+	}
+}
+
+// TestOutageWindow verifies the [start, end) boundary semantics.
+func TestOutageWindow(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Outages: []Outage{{Link: "l", Start: 100, End: 200}}})
+	lf := in.Link("l")
+	cases := []struct {
+		now  int64
+		drop bool
+	}{{99, false}, {100, true}, {199, true}, {200, false}}
+	for i, c := range cases {
+		got := lf.OnFlit(c.now, mkFlit(uint64(i+1), 0, 0, 1))
+		if got != c.drop {
+			t.Errorf("cycle %d: drop=%v, want %v", c.now, got, c.drop)
+		}
+	}
+	if note := in.OutageNote(150, 160); note == "" {
+		t.Error("no outage note inside the window")
+	}
+	if note := in.OutageNote(300, 400); note != "" {
+		t.Errorf("spurious outage note outside the window: %q", note)
+	}
+}
+
+// TestCorruptionFlipsChecksum verifies corruption leaves the flit
+// deliverable but checksum-invalid.
+func TestCorruptionFlipsChecksum(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, CorruptRate: 1})
+	lf := in.Link("l")
+	f := mkFlit(1, 0, 0, 1)
+	f.Csum = proto.FlitSum(f)
+	if lf.OnFlit(0, f) {
+		t.Fatal("corruption-only plan dropped a flit")
+	}
+	if f.Csum == proto.FlitSum(f) {
+		t.Fatal("corrupted flit still has a valid checksum")
+	}
+	if in.Stats.FlitsCorrupted != 1 {
+		t.Fatalf("FlitsCorrupted = %d, want 1", in.Stats.FlitsCorrupted)
+	}
+}
+
+// TestDeterministicStreams verifies that the same plan yields identical
+// decisions per link, and that distinct links get independent streams.
+func TestDeterministicStreams(t *testing.T) {
+	decisions := func(link string) []bool {
+		lf := NewInjector(Plan{Seed: 9, LinkDropRate: 0.3}).Link(link)
+		var ds []bool
+		for p := 0; p < 200; p++ {
+			ds = append(ds, lf.OnFlit(int64(p), mkFlit(uint64(p+1), 0, 0, 1)))
+		}
+		return ds
+	}
+	a, b := decisions("sw0.0->sw1.0"), decisions("sw0.0->sw1.0")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same link diverged at packet %d", i)
+		}
+	}
+	c := decisions("sw2.0->sw1.0")
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct links produced identical fault streams")
+	}
+}
+
+// TestInactiveLink verifies plans return nil link state when they inject
+// nothing on that link, and that nil receivers are safe.
+func TestInactiveLink(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Outages: []Outage{{Link: "a", Start: 0, End: 1}}})
+	if lf := in.Link("b"); lf != nil {
+		t.Fatal("outage-only plan produced fault state for an uninvolved link")
+	}
+	var lf *LinkFault
+	if lf.OnFlit(0, mkFlit(1, 0, 0, 1)) {
+		t.Fatal("nil LinkFault dropped a flit")
+	}
+	var nilInj *Injector
+	if nilInj.Link("x") != nil || nilInj.OutageNote(0, 1) != "" || nilInj.DueStashFails(1) != nil {
+		t.Fatal("nil Injector not inert")
+	}
+}
+
+// TestUnmatchedOutages flags plan typos after wiring.
+func TestUnmatchedOutages(t *testing.T) {
+	in := NewInjector(Plan{Outages: []Outage{
+		{Link: "good", Start: 0, End: 1},
+		{Link: "typo", Start: 0, End: 1},
+	}})
+	in.Link("good")
+	missing := in.UnmatchedOutages()
+	if len(missing) != 1 || missing[0] != "typo" {
+		t.Fatalf("UnmatchedOutages = %v, want [typo]", missing)
+	}
+}
+
+// TestDueStashFails verifies ordering and one-shot semantics.
+func TestDueStashFails(t *testing.T) {
+	in := NewInjector(Plan{StashFailures: []StashFail{
+		{Switch: 2, Port: 0, At: 50},
+		{Switch: 1, Port: 3, At: 10},
+		{Switch: 1, Port: 1, At: 10},
+	}})
+	if !in.HasStashFails() {
+		t.Fatal("HasStashFails false with scheduled failures")
+	}
+	if got := in.DueStashFails(5); got != nil {
+		t.Fatalf("failures fired early: %v", got)
+	}
+	got := in.DueStashFails(10)
+	if len(got) != 2 || got[0].Port != 1 || got[1].Port != 3 {
+		t.Fatalf("due at 10 = %v, want ports 1 then 3", got)
+	}
+	if again := in.DueStashFails(10); again != nil {
+		t.Fatalf("failures fired twice: %v", again)
+	}
+	if got := in.DueStashFails(100); len(got) != 1 || got[0].Switch != 2 {
+		t.Fatalf("due at 100 = %v, want switch 2", got)
+	}
+}
+
+// TestBackoff verifies exponential growth and saturation.
+func TestBackoff(t *testing.T) {
+	cases := []struct {
+		retry int
+		want  int64
+	}{{-1, 100}, {0, 100}, {1, 200}, {3, 800}, {20, 100 << 20}, {25, 100 << 20}}
+	for _, c := range cases {
+		if got := Backoff(100, c.retry); got != c.want {
+			t.Errorf("Backoff(100, %d) = %d, want %d", c.retry, got, c.want)
+		}
+	}
+}
+
+// TestValidate exercises plan validation errors.
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{LinkDropRate: -0.1},
+		{LinkDropRate: 1.5},
+		{CorruptRate: 2},
+		{Outages: []Outage{{Link: "", Start: 0, End: 1}}},
+		{Outages: []Outage{{Link: "l", Start: 5, End: 5}}},
+		{StashFailures: []StashFail{{Switch: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+	good := Plan{Seed: 1, LinkDropRate: 0.001, Outages: []Outage{{Link: "l", Start: 0, End: 9}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if !good.Active() {
+		t.Error("non-trivial plan reported inactive")
+	}
+	var zero Plan
+	if zero.Active() {
+		t.Error("zero plan reported active")
+	}
+}
+
+// TestLoadPlan round-trips a JSON plan file.
+func TestLoadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	body := `{
+  "seed": 7,
+  "link_drop_rate": 0.001,
+  "outages": [{"link": "sw0.3->sw1.2", "start": 1000, "end": 3000}],
+  "stash_failures": [{"switch": 0, "port": 1, "at": 5000}]
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.LinkDropRate != 0.001 ||
+		len(p.Outages) != 1 || p.Outages[0].End != 3000 ||
+		len(p.StashFailures) != 1 || p.StashFailures[0].At != 5000 {
+		t.Fatalf("loaded plan mismatch: %+v", p)
+	}
+	if _, err := LoadPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"drop": 1}`), 0o644)
+	if _, err := LoadPlan(bad); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestParseOutages and TestParseStashFails cover the flag-spec parsers.
+func TestParseOutages(t *testing.T) {
+	out, err := ParseOutages("sw0.3->sw1.2@1000-3000, ep5->sw1.0@500-900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Link != "sw0.3->sw1.2" || out[0].Start != 1000 ||
+		out[1].Link != "ep5->sw1.0" || out[1].End != 900 {
+		t.Fatalf("parsed %+v", out)
+	}
+	if got, err := ParseOutages(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"nolink", "l@x-5", "l@5"} {
+		if _, err := ParseOutages(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseStashFails(t *testing.T) {
+	out, err := ParseStashFails("0.1@5000,3.0@9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != (StashFail{Switch: 0, Port: 1, At: 5000}) ||
+		out[1] != (StashFail{Switch: 3, Port: 0, At: 9000}) {
+		t.Fatalf("parsed %+v", out)
+	}
+	for _, bad := range []string{"1@5", "1.x@5", "1.2@z"} {
+		if _, err := ParseStashFails(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+
+	"stashsim/internal/core"
+	"stashsim/internal/fault"
+	"stashsim/internal/network"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/stats"
+	"stashsim/internal/traffic"
+)
+
+// Faults quantifies the recovery ladder of the fault-injection extension:
+// under a sweep of per-link packet-drop rates, it compares stash-local
+// recovery (StashE2E, where the first-hop stash retransmits from its
+// retained copy on an ACK timeout) against source-endpoint recovery (the
+// stashless baseline, where only the source's ACK timer can resend). The
+// stash sits one hop from the source with a much shorter timeout, so its
+// mean loss-to-delivery recovery latency should be well below the
+// endpoint's — that gap is the supplemental-storage argument of the paper
+// extended to reliability.
+//
+// Every run drains fully and asserts exactly-once delivery; a row is an
+// error if either variant loses or double-delivers a packet.
+func Faults(o *Options) (*stats.Table, error) {
+	rates := []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2}
+	if o.Quick {
+		rates = []float64{1e-3, 5e-3}
+	}
+	warm := o.scaleDur(5000)
+	meas := o.scaleDur(20000)
+	const drainBudget = 2_000_000
+
+	type variant struct {
+		name string
+		mode core.StashMode
+	}
+	variants := []variant{
+		{"StashLocal", core.StashE2E},
+		{"Endpoint", core.StashOff},
+	}
+
+	t := &stats.Table{Header: []string{"DropRate"}}
+	for _, v := range variants {
+		t.Header = append(t.Header,
+			v.name+"_RecLat_us", v.name+"_Recovered", v.name+"_Resends", v.name+"_Dups")
+	}
+
+	for _, rate := range rates {
+		row := []string{fmt.Sprintf("%.0e", rate)}
+		for _, v := range variants {
+			cfg := o.netConfig(v.mode, 1.0, false)
+			cfg.Retrans = core.DefaultRetrans()
+			if v.mode == core.StashE2E {
+				cfg.RetainPayload = true
+			}
+			cfg.Fault = &fault.Plan{Seed: cfg.Seed + 101, LinkDropRate: rate}
+			n := o.mustNet(cfg)
+			rng := sim.NewRNG(cfg.Seed + 2000)
+			chRate := n.ChannelRate()
+			for _, ep := range n.Endpoints {
+				ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+					0.2, chRate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+			}
+			n.Warmup(warm)
+			n.Run(meas)
+			for _, ep := range n.Endpoints {
+				ep.Gen = nil
+			}
+			if !n.Drain(drainBudget) {
+				return nil, fmt.Errorf("faults: %s at rate %.0e did not drain in %d cycles",
+					v.name, rate, int64(drainBudget))
+			}
+			if err := assertExactlyOnce(n); err != nil {
+				return nil, fmt.Errorf("faults: %s at rate %.0e: %w", v.name, rate, err)
+			}
+			c := n.Collector
+			recUS := c.RecoveryAcc.Mean() / 1300 // cycles -> us
+			resends := n.Counters().E2ERetransmits + c.EndpointRetransmits
+			row = append(row,
+				fmtF(recUS, 2),
+				fmt.Sprintf("%d", c.RecoveredPkts),
+				fmt.Sprintf("%d", resends),
+				fmt.Sprintf("%d", c.DuplicatesSuppressed))
+			o.logf("faults rate=%.0e %s: recovered=%d recLat=%.2fus resends=%d",
+				rate, v.name, c.RecoveredPkts, recUS, resends)
+		}
+		t.AddRow(row...)
+	}
+	return t, o.writeCSV("faults_recovery", t)
+}
+
+// assertExactlyOnce verifies the drained network delivered every injected
+// packet exactly once.
+func assertExactlyOnce(n *network.Network) error {
+	injected, delivered, _, abandoned := n.DeliveryTotals()
+	if abandoned != 0 {
+		return fmt.Errorf("%d packets abandoned", abandoned)
+	}
+	if delivered != injected {
+		return fmt.Errorf("injected %d but delivered %d", injected, delivered)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"stashsim/internal/core"
+	"stashsim/internal/fault"
 	"stashsim/internal/network"
 	"stashsim/internal/stats"
 )
@@ -34,6 +35,11 @@ type Options struct {
 	// InvariantsEvery is the audit interval in cycles; 0 means the
 	// default of 64.
 	InvariantsEvery int64
+	// FaultPlan, when non-nil, is injected into every experiment network
+	// (the -fault-* flags of cmd/figures), with the recovery timers
+	// enabled so dropped packets still deliver. The Faults experiment
+	// ignores it and builds its own sweep.
+	FaultPlan *fault.Plan
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -103,6 +109,13 @@ func (o *Options) netConfig(mode core.StashMode, capFrac float64, ecn bool) *cor
 	cfg.StashCapFrac = capFrac
 	if ecn {
 		cfg.ECN = core.DefaultECN()
+	}
+	if o.FaultPlan != nil {
+		cfg.Fault = o.FaultPlan
+		cfg.Retrans = core.DefaultRetrans()
+		if mode == core.StashE2E {
+			cfg.RetainPayload = true
+		}
 	}
 	return cfg
 }

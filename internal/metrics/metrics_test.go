@@ -251,3 +251,50 @@ func TestWatchdog(t *testing.T) {
 		t.Fatalf("idle run produced %d stalls, want 0", idle.Stalls)
 	}
 }
+
+// TestWatchdogNoteSuppressesStall covers the fault-aware path: a
+// zero-delivery window that Note explains (an active link outage) is
+// reported as a one-line note, not a stall dump.
+func TestWatchdogNoteSuppressesStall(t *testing.T) {
+	var out strings.Builder
+	dumped := 0
+	outageEnd := int64(600)
+	wd := &Watchdog{
+		Window:    100,
+		Out:       &out,
+		Delivered: func() int64 { return 0 },
+		Pending:   func() bool { return true },
+		Dump:      func(w io.Writer) { dumped++ },
+		Note: func(from, to int64) string {
+			if from < outageEnd {
+				return "outage active on link sw0.3->sw1.3 [0,600)"
+			}
+			return ""
+		},
+	}
+	for now := int64(0); now <= 550; now++ {
+		wd.Observe(now)
+	}
+	if wd.Stalls != 0 {
+		t.Fatalf("explained windows counted as %d stalls", wd.Stalls)
+	}
+	if wd.Suppressed == 0 {
+		t.Fatal("no suppressed windows recorded")
+	}
+	if dumped != 0 {
+		t.Fatal("Dump invoked for an explained window")
+	}
+	if !strings.Contains(out.String(), "explained: outage active on link sw0.3->sw1.3") {
+		t.Fatalf("note missing from output: %q", out.String())
+	}
+	// Once the outage clears, an ongoing freeze is a real stall again.
+	for now := int64(551); now <= 1200; now++ {
+		wd.Observe(now)
+	}
+	if wd.Stalls == 0 {
+		t.Fatal("post-outage freeze produced no stall")
+	}
+	if dumped == 0 {
+		t.Fatal("post-outage stall did not dump")
+	}
+}

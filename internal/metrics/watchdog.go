@@ -28,12 +28,19 @@ type Watchdog struct {
 	Dump func(w io.Writer)
 	// MaxDumps bounds how many stall dumps are written (0 = 3).
 	MaxDumps int
+	// Note, when non-nil, is consulted before declaring a stall: a
+	// nonempty string names a benign cause for the zero-delivery window
+	// (e.g. a fault plan's link outage), which is reported as a one-line
+	// note instead of a stall dump. The arguments are the window bounds.
+	Note func(from, to int64) string
 
 	windowStart   int64
 	started       bool
 	lastDelivered int64
 	// Stalls counts detected zero-delivery windows.
 	Stalls int64
+	// Suppressed counts zero-delivery windows explained away by Note.
+	Suppressed int64
 }
 
 // Observe advances the watchdog to cycle now.
@@ -52,6 +59,18 @@ func (w *Watchdog) Observe(now int64) {
 	}
 	d := w.Delivered()
 	if d == w.lastDelivered && w.Pending != nil && w.Pending() {
+		if w.Note != nil {
+			if note := w.Note(w.windowStart, now); note != "" {
+				w.Suppressed++
+				if w.Out != nil {
+					fmt.Fprintf(w.Out, "watchdog: no deliveries in %d cycles at cycle %d, explained: %s\n",
+						w.Window, now, note)
+				}
+				w.lastDelivered = d
+				w.windowStart = now
+				return
+			}
+		}
 		w.Stalls++
 		max := w.MaxDumps
 		if max == 0 {

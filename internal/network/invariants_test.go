@@ -157,7 +157,12 @@ func TestInvariantsCatchStashOverflow(t *testing.T) {
 	}
 	// A negative-size delete is the signature of corrupted size metadata;
 	// it inflates the occupancy past capacity (and is self-compensating
-	// in the flit-conservation law, isolating the occupancy law).
+	// in the flit-conservation law, isolating the occupancy law). Delete
+	// ignores packets without a live copy, so fabricate one first and
+	// compensate its flit in the global count.
+	pool.PutCopy(proto.Flit{PktID: 0, Size: 1})
+	orig := n.Invariants.ExtCreated
+	n.Invariants.ExtCreated = func() int64 { return orig() + 1 }
 	pool.Delete(0, -(pool.Capacity() - pool.Used() + 1))
 	expectViolation(t, "stash occupancy", func() { n.Invariants.Check(n.Now) })
 }

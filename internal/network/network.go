@@ -9,6 +9,7 @@ import (
 
 	"stashsim/internal/core"
 	"stashsim/internal/endpoint"
+	"stashsim/internal/fault"
 	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
@@ -33,6 +34,11 @@ type Network struct {
 	// Invariants, when non-nil (EnableInvariants), audits the
 	// conservation laws at the end of each Step.
 	Invariants *core.Invariants
+
+	// Injector, when non-nil (Cfg.Fault active), owns the fault schedule:
+	// the per-link fault states were handed out at wiring time, and the
+	// stash-bank failure events are applied by Step.
+	Injector *fault.Injector
 
 	Now sim.Tick
 }
@@ -60,7 +66,19 @@ func New(cfg *core.Config) (*Network, error) {
 		ep.Collector = n.Collector
 		n.Endpoints[i] = ep
 	}
+	if cfg.FaultActive() {
+		n.Injector = fault.NewInjector(*cfg.Fault)
+		for _, sf := range cfg.Fault.StashFailures {
+			if sf.Switch >= len(n.Switches) || sf.Port >= d.Radix() {
+				return nil, fmt.Errorf("network: stash failure at sw%d.%d outside the %d-switch radix-%d topology",
+					sf.Switch, sf.Port, len(n.Switches), d.Radix())
+			}
+		}
+	}
 	// Wire every directed link exactly once, as seen from its producer.
+	// Fault states are attached by the invariant checker's edge names;
+	// endpoint->switch and switch->switch links run credit flow control,
+	// so drops on them synthesize the lost credit.
 	for sw := 0; sw < d.NumSwitches(); sw++ {
 		s := n.Switches[sw]
 		for port := 0; port < d.Radix(); port++ {
@@ -69,6 +87,9 @@ func New(cfg *core.Config) (*Network, error) {
 				ep := n.Endpoints[d.EndpointID(sw, port)]
 				up := core.NewLink(cfg.Lat.Endpoint)   // endpoint -> switch
 				down := core.NewLink(cfg.Lat.Endpoint) // switch -> endpoint
+				up.Fault = n.Injector.Link(fmt.Sprintf("ep%d->sw%d.%d", ep.ID, sw, port))
+				up.Credited = true
+				down.Fault = n.Injector.Link(fmt.Sprintf("sw%d.%d->ep%d", sw, port, ep.ID))
 				s.AttachInLink(port, up)
 				s.AttachOutLink(port, down, 0)
 				ep.Attach(up, down, cfg.NormalInCap(topo.Endpoint))
@@ -76,9 +97,14 @@ func New(cfg *core.Config) (*Network, error) {
 			}
 			nsw, nport := d.Neighbor(sw, port)
 			l := core.NewLink(cfg.Lat.Of(class))
+			l.Fault = n.Injector.Link(fmt.Sprintf("sw%d.%d->sw%d.%d", sw, port, nsw, nport))
+			l.Credited = true
 			s.AttachOutLink(port, l, cfg.NormalInCap(d.PortClass(nport)))
 			n.Switches[nsw].AttachInLink(nport, l)
 		}
+	}
+	if missing := n.Injector.UnmatchedOutages(); len(missing) > 0 {
+		return nil, fmt.Errorf("network: fault plan names links that do not exist: %v", missing)
 	}
 	return n, nil
 }
@@ -179,6 +205,9 @@ func (n *Network) AttachWatchdog(window int64, out io.Writer) *metrics.Watchdog 
 		},
 		Dump: n.DumpNonIdle,
 	}
+	if n.Injector != nil {
+		w.Note = n.Injector.OutageNote
+	}
 	n.Watchdog = w
 	return w
 }
@@ -251,6 +280,12 @@ func (n *Network) DumpNonIdle(w io.Writer) {
 // Step advances the whole network one cycle.
 func (n *Network) Step() {
 	now := n.Now
+	if n.Injector.HasStashFails() {
+		for _, sf := range n.Injector.DueStashFails(int64(now)) {
+			lost := n.Switches[sf.Switch].FailStashBank(now, sf.Port)
+			n.Injector.Stats.StashCopiesLost += int64(lost)
+		}
+	}
 	for _, ep := range n.Endpoints {
 		ep.Step(now)
 	}
@@ -334,6 +369,44 @@ func (n *Network) TotalQueuedFlits() int64 {
 	return total
 }
 
+// DeliveryTotals sums the exactly-once accounting across endpoints:
+// distinct data packets injected, first deliveries, suppressed duplicate
+// deliveries, and packets abandoned after retry exhaustion. None of the
+// counts are gated by measurement warmup.
+func (n *Network) DeliveryTotals() (injected, delivered, dups, abandoned int64) {
+	for _, ep := range n.Endpoints {
+		injected += ep.InjectedPkts
+		delivered += ep.DeliveredUnique
+		dups += ep.DupDelivered
+		abandoned += ep.Abandoned
+	}
+	return
+}
+
+// Drain runs the network until every injected packet has been delivered
+// exactly once or abandoned, up to budget extra cycles, and reports
+// whether the network fully drained. Fault-recovery experiments call it
+// after the measured window so delivery assertions cover in-flight and
+// timer-pending packets.
+func (n *Network) Drain(budget int64) bool {
+	return n.RunUntil(budget, 256, func() bool {
+		if n.TotalQueuedFlits() > 0 {
+			return false
+		}
+		injected, delivered, _, abandoned := n.DeliveryTotals()
+		return delivered+abandoned >= injected
+	})
+}
+
+// FaultStats returns the injected-fault counts, or the zero value when no
+// fault plan is active.
+func (n *Network) FaultStats() fault.Stats {
+	if n.Injector == nil {
+		return fault.Stats{}
+	}
+	return n.Injector.Stats
+}
+
 // Counters sums the per-switch counters.
 func (n *Network) Counters() core.Counters {
 	var c core.Counters
@@ -353,6 +426,10 @@ func (n *Network) Counters() core.Counters {
 		c.CongStashed += sc.CongStashed
 		c.CongStashedVict += sc.CongStashedVict
 		c.HoLAbsorbed += sc.HoLAbsorbed
+		c.RetryTimeouts += sc.RetryTimeouts
+		c.RetryAbandoned += sc.RetryAbandoned
+		c.StashCopiesLost += sc.StashCopiesLost
+		c.StashBypassed += sc.StashBypassed
 	}
 	return c
 }

@@ -66,6 +66,10 @@ const (
 	// end-to-end reliability mechanism. Stash copies terminate at a
 	// stash buffer and are never forwarded off-switch.
 	FlagStashCopy
+	// FlagRetransmit marks a re-injected packet (stash-copy resend or
+	// source-endpoint retransmission). The destination uses it to account
+	// recovery latency separately from first-attempt latency.
+	FlagRetransmit
 )
 
 // Class labels traffic for statistics; it does not affect switching.
@@ -123,6 +127,11 @@ type Flit struct {
 	Phase    RoutePhase
 	Hops     uint8 // switch-to-switch channels traversed so far
 	MidGroup int16 // Valiant intermediate group; -1 when minimal
+
+	// Csum is the packet checksum covering the flit's stable identity
+	// fields (see FlitSum). The fault injector models payload bit errors
+	// by perturbing it; the destination endpoint verifies it on ejection.
+	Csum uint16
 }
 
 // Head reports whether f is a head flit.
@@ -130,6 +139,30 @@ func (f *Flit) Head() bool { return f.Flags&FlagHead != 0 }
 
 // Tail reports whether f is a tail flit.
 func (f *Flit) Tail() bool { return f.Flags&FlagTail != 0 }
+
+// FlitSum computes the flit checksum over the fields that are immutable
+// in flight: identity (Src, Dst, MsgID, PktID, Birth), position (Seq,
+// Size), and type (Kind, Class). Mutable switching state — VC, flags,
+// routing phase, hop count — is deliberately excluded, so the checksum
+// survives re-routing, VC remapping, and stash store/retrieve untouched;
+// only injected corruption invalidates it. FNV-1a folded to 16 bits.
+func FlitSum(f *Flit) uint16 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(uint32(f.Src)))
+	mix(uint64(uint32(f.Dst)))
+	mix(uint64(f.MsgID))
+	mix(f.PktID)
+	mix(uint64(f.Birth))
+	mix(uint64(f.Seq) | uint64(f.Size)<<8 | uint64(f.Kind)<<16 | uint64(f.Class)<<24)
+	return uint16(h ^ h>>16 ^ h>>32 ^ h>>48)
+}
 
 // MakePktID builds a globally unique packet id from a source endpoint and a
 // per-source monotone sequence number.

@@ -87,6 +87,49 @@ func TestFlitFlags(t *testing.T) {
 	}
 }
 
+func TestFlitSumStableUnderSwitching(t *testing.T) {
+	f := Flit{
+		Src: 3, Dst: 17, MsgID: 9, PktID: MakePktID(3, 40), Birth: 1234,
+		Seq: 1, Size: 4, VC: 0, Kind: Data, Class: ClassDefault,
+	}
+	sum := FlitSum(&f)
+	// Everything the network mutates in flight must not move the checksum.
+	f.VC = 5
+	f.RestoreVC = 2
+	f.Out, f.OrigOut = 7, 3
+	f.Flags |= FlagECN | FlagNonMinimal | FlagShared | FlagRetransmit
+	f.Phase = PhaseMinimal
+	f.Hops = 3
+	f.MidGroup = 4
+	if FlitSum(&f) != sum {
+		t.Fatal("checksum covers mutable switching state")
+	}
+	// Identity fields must move it.
+	g := f
+	g.PktID++
+	if FlitSum(&g) == sum {
+		t.Fatal("checksum blind to PktID")
+	}
+	h := f
+	h.Seq++
+	if FlitSum(&h) == sum {
+		t.Fatal("checksum blind to Seq")
+	}
+}
+
+func TestFlitSumSpread(t *testing.T) {
+	// Distinct flits should rarely collide; with 1000 sequential packets a
+	// handful of 16-bit collisions is expected, but not mass collision.
+	seen := make(map[uint16]int)
+	for i := 0; i < 1000; i++ {
+		f := Flit{Src: 1, Dst: 2, PktID: MakePktID(1, uint32(i)), Size: 1}
+		seen[FlitSum(&f)]++
+	}
+	if len(seen) < 900 {
+		t.Fatalf("checksum collapses: %d distinct sums over 1000 flits", len(seen))
+	}
+}
+
 func TestVCConstants(t *testing.T) {
 	if VCStore != NumNetVCs || VCRetrieve != NumNetVCs+1 || NumVCs != NumNetVCs+2 {
 		t.Fatal("VC constant arithmetic broken")
