@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fault-smoke bench figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke par-smoke bench figures figures-paper examples clean
 
-all: build vet lint test race fault-smoke
+all: build vet lint test race fault-smoke par-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ fault-smoke:
 	$(GO) run ./cmd/stashsim -preset tiny -mode e2e -load 0.2 -warmup 0 \
 		-cycles 25000 -link-drop-rate 1e-3 -invariants \
 		-drain 150000 -assert-delivery -json > /dev/null
+
+# Parallel-executor smoke: the race-enabled tests that step a fully
+# instrumented network with four workers and prove the serial/parallel
+# bit-identity, plus the CLI-level workers=1 vs workers=4 -json comparison.
+# Guards the executor's barrier protocol and the link inbox/shard design.
+par-smoke:
+	$(GO) test -race -count=1 -run 'TestParallelStepRace|TestParallelMatchesSerial' ./internal/network
+	$(GO) test -count=1 -run 'TestWorkersDeterminism' ./cmd/stashsim
 
 # Reduced-scale benchmark harness: one benchmark per table/figure plus the
 # ablations. Full datasets come from `make figures`.

@@ -10,6 +10,7 @@ package stashsim
 // the two-bank port-memory model.
 
 import (
+	"fmt"
 	"testing"
 
 	"stashsim/internal/core"
@@ -18,6 +19,7 @@ import (
 	"stashsim/internal/network"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
+	"stashsim/internal/topo"
 	"stashsim/internal/traffic"
 )
 
@@ -290,6 +292,53 @@ func BenchmarkInvariantOverhead(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, 0) })
 	b.Run("every64", func(b *testing.B) { run(b, 64) })
 	b.Run("every1", func(b *testing.B) { run(b, 1) })
+}
+
+// BenchmarkParallelExecutor measures the cycle-level parallel executor
+// across worker counts on two scales: a 72-switch dragonfly and the
+// paper-scale 1056-switch dragonfly (a=32, h=1, p=2). EXPERIMENTS.md
+// records the resulting speedup table. On a single-CPU host the workers>1
+// rows measure pure synchronization overhead (the spinning barrier has no
+// second core to run on); the >=2x speedup claim needs a multi-core host.
+func BenchmarkParallelExecutor(b *testing.B) {
+	topos := []struct {
+		name    string
+		p, a, h int
+	}{
+		{"sw=72", 2, 8, 1},
+		{"sw=1056", 2, 32, 1},
+	}
+	for _, tp := range topos {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tp.name, workers), func(b *testing.B) {
+				cfg := core.PaperConfig()
+				cfg.Topo = topo.Dragonfly{P: tp.p, A: tp.a, H: tp.h}
+				radix := cfg.Topo.Radix()
+				cfg.Rows, cfg.Cols = 4, 4
+				cfg.TileIn, cfg.TileOut = (radix+3)/4, (radix+3)/4
+				cfg.Mode = core.StashE2E
+				n, err := network.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers > 1 {
+					n.SetWorkers(workers)
+					defer n.Close()
+				}
+				rng := sim.NewRNG(3)
+				for _, ep := range n.Endpoints {
+					ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+						0.3, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+				}
+				n.Run(200) // settle into steady state before timing
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Run(100)
+				}
+				b.ReportMetric(float64(len(n.Switches))*100, "switch-cycles/op")
+			})
+		}
+	}
 }
 
 // TestMetricsDisabledAllocFree is the hard form of the benchmark guard: a

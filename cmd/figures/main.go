@@ -58,10 +58,16 @@ func main() {
 	dropRate := flag.Float64("link-drop-rate", 0, "per-packet drop probability injected into every experiment network")
 	outages := flag.String("link-outage", "", "outage windows (link@start-end, comma separated) injected into every experiment network")
 	stashFails := flag.String("stash-fail", "", "stash-bank failures (switch.port@cycle, comma separated) injected into every experiment network")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep-level worker pool fanning out independent design points (tables are identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
+	switch *preset {
+	case "", "tiny", "small", "paper":
+	default:
+		log.Fatalf("unknown preset %q (want tiny, small, or paper)", *preset)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -94,6 +100,7 @@ func main() {
 		Seed:            *seed,
 		Invariants:      *invariants,
 		InvariantsEvery: *invariantsEvery,
+		Workers:         *workers,
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},

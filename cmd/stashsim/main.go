@@ -112,6 +112,7 @@ func main() {
 	flag.BoolVar(&sp.Retrans, "retrans", false, "enable recovery timers (auto-enabled when a plan drops packets in e2e mode)")
 	flag.BoolVar(&sp.StashBypass, "stash-bypass", false, "forward packets uncovered when the stash is full instead of stalling (endpoint timers recover)")
 	flag.Int64Var(&sp.Drain, "drain", 0, "after the measured window, run up to this many unloaded cycles until every packet settles")
+	flag.IntVar(&sp.Workers, "workers", runtime.GOMAXPROCS(0), "cycle-level worker goroutines stepping the network (1 = serial; results are identical either way)")
 	assertDelivery := flag.Bool("assert-delivery", false, "with -drain, exit nonzero unless every injected packet delivered exactly once")
 
 	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")
@@ -183,7 +184,7 @@ func main() {
 		c.FlitsSwitched, c.FlitsSent, c.StashStores, c.StashRetrieves, s.StashResident)
 	if cfg.ECN.Enabled {
 		fmt.Fprintf(out, "ECN: %d marks, %d window shrinks, %d congested port-cycles\n",
-			c.ECNMarks, n.Collector.WindowShrinks, c.CongestedCycles)
+			c.ECNMarks, n.Collector().WindowShrinks, c.CongestedCycles)
 	}
 	if cfg.Mode == core.StashE2E {
 		fmt.Fprintf(out, "e2e: %d tracked, %d deleted, %d retransmits, %d sideband msgs\n",

@@ -64,10 +64,66 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorkersDeterminism asserts the -workers flag never changes results:
+// the -json summary from a serial run must be byte-identical to a four-worker
+// run of the same spec, across the stashing, fault-injection, and ECN
+// (congestion) configurations. This is the user-visible contract behind the
+// parallel executor's sharded-collector / fixed-merge-order design.
+func TestWorkersDeterminism(t *testing.T) {
+	specs := map[string]simSpec{
+		"stashing-e2e": {
+			Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+			Load: 0.35, MsgPkts: 1,
+			Cycles: 4000, Warmup: 500, Seed: 21,
+			Invariants: true, InvariantsEvery: 64,
+		},
+		"faulted-drain": {
+			Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+			Load: 0.2, MsgPkts: 1,
+			Cycles: 4000, Warmup: 0, Seed: 13,
+			DropRate: 2e-3, CorruptRate: 1e-3, FaultSeed: 5,
+			Drain: 400000,
+		},
+		"ecn-congestion": {
+			Preset: "tiny", Mode: "congestion", CapFrac: 1.0,
+			Load: 0.4, MsgPkts: 2, Hotspots: 2, ECN: true,
+			Cycles: 4000, Warmup: 500, Seed: 8,
+		},
+	}
+	for name, sp := range specs {
+		t.Run(name, func(t *testing.T) {
+			serial := sp
+			serial.Workers = 1
+			parallel := sp
+			parallel.Workers = 4
+			a := runJSON(t, serial)
+			b := runJSON(t, parallel)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("workers=1 and workers=4 summaries differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+			}
+		})
+	}
+}
+
 // TestBadModeRejected exercises the config error path.
 func TestBadModeRejected(t *testing.T) {
 	sp := simSpec{Preset: "tiny", Mode: "turbo"}
 	if _, err := sp.build(); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestBadPresetRejected guards against typos silently running the
+// default (small) preset.
+func TestBadPresetRejected(t *testing.T) {
+	sp := simSpec{Preset: "med1um", Mode: "e2e"}
+	if _, err := sp.build(); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	for _, ok := range []string{"", "tiny", "small", "paper"} {
+		sp := simSpec{Preset: ok, Mode: "baseline"}
+		if _, err := sp.build(); err != nil {
+			t.Fatalf("preset %q rejected: %v", ok, err)
+		}
 	}
 }

@@ -31,6 +31,12 @@ type simSpec struct {
 	ErrRate         float64
 	Invariants      bool
 	InvariantsEvery int64
+	// Workers selects the cycle-level execution mode: values above one
+	// drive endpoints and switches through the barrier-synchronized
+	// parallel executor. Results are bit-identical for any value (also
+	// enforced by TestRunIsDeterministic), so Workers is intentionally
+	// excluded from the outcome-determining contract above.
+	Workers int
 
 	// Fault injection and recovery (see internal/fault). FaultPlanPath
 	// loads a JSON plan; the individual flags layer on top of (or replace)
@@ -92,8 +98,10 @@ func (sp *simSpec) config() (*core.Config, error) {
 		cfg = core.PaperConfig()
 	case "tiny":
 		cfg = core.TinyConfig()
-	default:
+	case "", "small":
 		cfg = core.SmallConfig()
+	default:
+		return nil, fmt.Errorf("unknown preset %q", sp.Preset)
 	}
 	if sp.P > 0 && sp.A > 0 && sp.H > 0 {
 		cfg = core.PaperConfig()
@@ -174,7 +182,7 @@ func (sp *simSpec) build() (*network.Network, error) {
 	rate := n.ChannelRate()
 	msgFlits := sp.MsgPkts * proto.MaxPacketFlits
 	victims := sp.victimClass()
-	n.Collector.WithHist(victims)
+	n.Collectors.WithHist(victims)
 	hotDst := map[int32]bool{}
 	hotSrc := map[int32]bool{}
 	if sp.Hotspots > 0 {
@@ -219,6 +227,10 @@ func (sp *simSpec) build() (*network.Network, error) {
 // run executes warmup plus the measured window and fills the summary's
 // simulation-determined fields (observability artifacts are the caller's).
 func (sp *simSpec) run(n *network.Network) *runSummary {
+	if sp.Workers > 1 {
+		n.SetWorkers(sp.Workers)
+		defer n.Close()
+	}
 	n.Warmup(sp.Warmup)
 	n.Run(sp.Cycles)
 
@@ -231,8 +243,9 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 	}
 
 	victims := sp.victimClass()
-	lat := n.Collector.LatAcc[victims]
-	h := n.Collector.LatHist[victims]
+	col := n.Collector()
+	lat := col.LatAcc[victims]
+	h := col.LatHist[victims]
 	var s runSummary
 	s.Network = n.Describe()
 	s.Mode = n.Cfg.Mode.String()
@@ -252,7 +265,7 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 	if n.Cfg.FaultActive() || n.Cfg.Retrans.Enabled {
 		st := n.FaultStats()
 		injected, delivered, dups, abandoned := n.DeliveryTotals()
-		rec := n.Collector.RecoveryAcc
+		rec := col.RecoveryAcc
 		s.Fault = &faultSummary{
 			PktsDropped:          st.PktsDropped,
 			FlitsDropped:         st.FlitsDropped,
@@ -264,9 +277,9 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 			DuplicatesSuppressed: dups,
 			Abandoned:            abandoned,
 			StashResends:         s.Counters.E2ERetransmits,
-			EndpointResends:      n.Collector.EndpointRetransmits,
-			CorruptPkts:          n.Collector.CorruptPkts,
-			RecoveredPkts:        n.Collector.RecoveredPkts,
+			EndpointResends:      col.EndpointRetransmits,
+			CorruptPkts:          col.CorruptPkts,
+			RecoveredPkts:        col.RecoveredPkts,
 			RecoveryMeanNS:       rec.Mean() / 1.3,
 			Drained:              drained,
 		}

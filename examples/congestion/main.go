@@ -32,8 +32,8 @@ func build(mode core.StashMode) *network.Network {
 	if err != nil {
 		panic(err)
 	}
-	n.Collector.WithHist(proto.ClassVictim)
-	n.Collector.WithSeries(proto.ClassVictim, binWidth)
+	n.Collectors.WithHist(proto.ClassVictim)
+	n.Collectors.WithSeries(proto.ClassVictim, binWidth)
 	rng := sim.NewRNG(3)
 	hot := int32(7)
 	srcs := map[int32]bool{20: true, 30: true, 40: true, 50: true}
@@ -58,7 +58,7 @@ func main() {
 
 	fmt.Println("victim mean latency per 2us bin (ns); aggressor starts at ~4.6us")
 	fmt.Printf("%8s %14s %18s\n", "time_us", "baseline_ECN", "stash_congestion")
-	bb, sb := base.Collector.Series[proto.ClassVictim].Bins(), stash.Collector.Series[proto.ClassVictim].Bins()
+	bb, sb := base.Collector().Series[proto.ClassVictim].Bins(), stash.Collector().Series[proto.ClassVictim].Bins()
 	for i := 0; i < len(bb) && i < len(sb); i++ {
 		fmt.Printf("%8.1f %14.0f %18.0f\n", float64(i)*2, bb[i].Mean()/1.3, sb[i].Mean()/1.3)
 	}
@@ -70,8 +70,8 @@ func main() {
 			float64(h.Percentile(99))/1.3, float64(h.Percentile(99.9))/1.3)
 	}
 	fmt.Println("\nvictim latency distribution:")
-	report("baseline ECN", base.Collector.LatHist[proto.ClassVictim])
-	report("with stashing", stash.Collector.LatHist[proto.ClassVictim])
+	report("baseline ECN", base.Collector().LatHist[proto.ClassVictim])
+	report("with stashing", stash.Collector().LatHist[proto.ClassVictim])
 
 	c := stash.Counters()
 	fmt.Printf("\nstash activity: %d packets absorbed, %d flits stored, %d retrieved, ECN marks %d\n",

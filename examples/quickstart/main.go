@@ -38,8 +38,8 @@ func main() {
 	const measure = 20000
 	n.Run(measure)
 
-	lat := n.Collector.LatAcc[proto.ClassDefault]
-	fmt.Printf("packets delivered:   %d\n", n.Collector.DeliveredPkts[proto.ClassDefault])
+	lat := n.Collector().LatAcc[proto.ClassDefault]
+	fmt.Printf("packets delivered:   %d\n", n.Collector().DeliveredPkts[proto.ClassDefault])
 	fmt.Printf("mean packet latency: %.0f ns\n", lat.Mean()/1.3)
 	fmt.Printf("offered load:        %.3f of capacity\n", n.NormalizedOffered(measure))
 	fmt.Printf("accepted throughput: %.3f of capacity\n", n.NormalizedAccepted(measure))

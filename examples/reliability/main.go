@@ -39,14 +39,14 @@ func main() {
 	for phase := 0; phase < 5; phase++ {
 		n.Run(8000)
 		c := n.Counters()
-		lat := n.Collector.LatAcc[proto.ClassDefault]
+		lat := n.Collector().LatAcc[proto.ClassDefault]
 		fmt.Printf("t=%5.1fus stash=%6d flits  tracked=%5d  errors=%4d  retransmits=%4d  mean lat=%4.0fns\n",
 			float64(n.Now)/1300, n.TotalStashUsed(), c.E2ETracked-c.E2EDeletes,
-			n.Collector.Errors, c.E2ERetransmits, lat.Mean()/1.3)
+			n.Collector().Errors, c.E2ERetransmits, lat.Mean()/1.3)
 	}
 
 	// Little's law check: resident stash flits ~= injection rate x RTT.
-	lat := n.Collector.LatAcc[proto.ClassDefault].Mean()
+	lat := n.Collector().LatAcc[proto.ClassDefault].Mean()
 	rate := load * n.ChannelRate() * float64(len(n.Endpoints))
 	rtt := lat * 2 // data latency out, ACK latency back (roughly symmetric)
 	fmt.Printf("\nLittle's law: rate (%.1f flits/cyc) x RTT (%.0f cyc) = %.0f flits expected in stash\n",

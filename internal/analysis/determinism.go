@@ -15,11 +15,19 @@ import (
 //   - wall-clock time (time.Now / time.Since);
 //   - the global math/rand source (import the seeded sim.RNG instead);
 //   - goroutine spawns outside internal/sim, whose executor owns the only
-//     synchronization barrier the simulation loop recognizes.
+//     synchronization barrier the simulation loop recognizes;
+//   - select statements and range-over-channel loops outside internal/sim:
+//     both observe scheduling order (which case fired, which worker
+//     finished first), the channel-shaped cousins of map iteration.
+//
+// The last two encode the parallel-shard rule: work fanned out over the
+// executor or sim.ParallelFor must land in index-addressed slots (or
+// per-worker shards folded in fixed shard order) and be assembled by
+// index after the join — completion order must never reach output.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "forbid map iteration, wall-clock time, global math/rand and " +
-		"unsynchronized goroutines in simulation packages",
+	Doc: "forbid map iteration, wall-clock time, global math/rand, " +
+		"unsynchronized goroutines, selects and channel ranges in simulation packages",
 	Scope: determinismScope,
 	Run:   runDeterminism,
 }
@@ -49,8 +57,9 @@ func determinismScope(relPath string) bool { return pathIn(relPath, determinismP
 
 func runDeterminism(pass *Pass) error {
 	// The executor package owns the worker-pool barrier; its goroutine
-	// spawns are the synchronization everyone else must go through.
-	goExempt := strings.HasSuffix(pass.PkgPath, "internal/sim")
+	// spawns, worker-feed channel ranges and selects are the
+	// synchronization everyone else must go through.
+	simExempt := strings.HasSuffix(pass.PkgPath, "internal/sim")
 
 	for _, file := range pass.Files {
 		for _, imp := range file.Imports {
@@ -63,13 +72,22 @@ func runDeterminism(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
 				if t := pass.Info.TypeOf(n.X); t != nil {
-					if _, ok := t.Underlying().(*types.Map); ok {
+					switch t.Underlying().(type) {
+					case *types.Map:
 						pass.Reportf(n.Pos(), "range over map: iteration order is nondeterministic; sort the keys or iterate a slice")
+					case *types.Chan:
+						if !simExempt {
+							pass.Reportf(n.Pos(), "range over channel: completion order is scheduling-dependent; write results to index-addressed slots and assemble in index order")
+						}
 					}
 				}
 			case *ast.GoStmt:
-				if !goExempt {
+				if !simExempt {
 					pass.Reportf(n.Pos(), "goroutine spawned outside internal/sim's executor barrier")
+				}
+			case *ast.SelectStmt:
+				if !simExempt {
+					pass.Reportf(n.Pos(), "select in a simulation package: which case fires is scheduling-dependent; shard order must not reach output")
 				}
 			case *ast.SelectorExpr:
 				if pkg, name := resolvePkgFunc(pass, n); pkg == "time" && (name == "Now" || name == "Since" || name == "Until") {

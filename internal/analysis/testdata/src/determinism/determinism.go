@@ -46,6 +46,21 @@ func (s *state) allowedSameLine() int {
 	return n
 }
 
+// shardCollect exercises the parallel-shard rules: collecting fan-out
+// results by completion order (range over a channel) or by first-ready
+// (select) is forbidden outside internal/sim.
+func (s *state) shardCollect(results chan int, other chan int) {
+	for r := range results { // want "range over channel"
+		s.order = append(s.order, r)
+	}
+	select { // want "select in a simulation package"
+	case r := <-results:
+		s.order = append(s.order, r)
+	case r := <-other:
+		s.order = append(s.order, r)
+	}
+}
+
 // rangeOverSlice is the deterministic idiom and is not flagged.
 func (s *state) rangeOverSlice() int {
 	total := 0

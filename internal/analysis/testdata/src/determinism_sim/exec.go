@@ -19,6 +19,19 @@ func (p *pool) spawn(fn func()) {
 	}()
 }
 
+// drain is allowed here too: the executor's worker-feed channels are the
+// sanctioned synchronization, so ranging and selecting over them is the
+// package's job.
+func drain(cmds chan int, stop chan struct{}) {
+	for range cmds {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
 // mapOrder is still forbidden even inside internal/sim.
 func mapOrder(m map[int]int) []int {
 	var out []int

@@ -12,19 +12,45 @@ import (
 // t+Latency; credits likewise. Because Latency >= 1, a link may safely be
 // written by its producer and read by its consumer within the same parallel
 // simulation cycle (one-cycle lookahead).
+//
+// Concretely, each direction is a single-producer single-consumer pair of
+// parity inboxes plus an owner-private ring. A push during cycle t appends
+// to inbox slot t&1; the ring's owner folds slot (t+1)&1 — everything the
+// remote side wrote during cycle t-1 — on its first access of cycle t. The
+// executor's inter-cycle barrier orders those cycle-t-1 writes before the
+// cycle-t fold, and the two sides never touch the same slot within a
+// cycle, so the link is race-free without locks. An entry pushed at t is
+// folded at t+1 and due at t+Latency >= t+1, so the fold is never late —
+// provided the owner touches the link every cycle, which every switch and
+// endpoint step does unconditionally (stepArrivals, stepOutput, stepRecv,
+// stepInject). Sparse direct use (unit tests) instead merges both slots by
+// arrival time, which equals push order because Latency is constant.
 type Link struct {
 	Latency int64
 
 	// Fault, when non-nil, screens every transmitted flit for injected
 	// drops, outages, and corruption. Credited marks links whose producer
 	// runs credit-based flow control (endpoint→switch and switch→switch);
-	// on those, a dropped flit's credit is synthesized onto the reverse
-	// ring so the producer's credit count stays conserved.
+	// on those, a dropped flit's credit is synthesized onto the producer's
+	// private synth ring so the producer's credit count stays conserved.
 	Fault    *fault.LinkFault
 	Credited bool
 
-	flits   buffer.TimedRing
-	credits timedCreditRing
+	// Forward path: producer appends to flitIn[now&1] (SendFlit); the
+	// consumer folds into flits and pops (RecvFlit/PeekFlit/DropFlit).
+	flits       buffer.TimedRing
+	flitIn      [2][]buffer.TimedFlit
+	flitDrained int64
+
+	// Reverse path: the forward-consumer appends to credIn[now&1]
+	// (SendCredit); the forward-producer folds into credits and pops
+	// (RecvCredit). synth carries the credits synthesized for faulted
+	// drops — pushed and popped by the forward-producer alone, so it
+	// needs no inbox.
+	credits     timedCreditRing
+	credIn      [2][]timedCredit
+	credDrained int64
+	synth       timedCreditRing
 
 	// faultDropped counts flits destroyed on this link by injected
 	// faults, the per-edge destruction term of the conservation law.
@@ -36,7 +62,7 @@ func NewLink(latency int64) *Link {
 	if latency < 1 {
 		panic("core: link latency must be at least one cycle")
 	}
-	return &Link{Latency: latency}
+	return &Link{Latency: latency, flitDrained: -1, credDrained: -1}
 }
 
 // SendFlit transmits a flit at cycle now; it arrives at now+Latency.
@@ -50,14 +76,74 @@ func (l *Link) SendFlit(now int64, f proto.Flit) {
 	if l.Fault != nil && l.Fault.OnFlit(now, &f) {
 		l.faultDropped++
 		if l.Credited {
-			l.credits.push(timedCredit{
+			l.synth.push(timedCredit{
 				at: now + 2*l.Latency,
 				c:  proto.Credit{VC: f.VC, Shared: f.Flags&proto.FlagShared != 0},
 			})
 		}
 		return
 	}
-	l.flits.Push(buffer.TimedFlit{At: now + l.Latency, Flit: f})
+	s := now & 1
+	l.flitIn[s] = append(l.flitIn[s], buffer.TimedFlit{At: now + l.Latency, Flit: f})
+}
+
+// drainFlits folds arrived inbox entries into the consumer's ring, once
+// per cycle. The every-cycle fast path touches only the slot the producer
+// filled last cycle; the sparse path (owner skipped one or more cycles —
+// never under the executor) merges both slots by arrival time.
+func (l *Link) drainFlits(now int64) {
+	if now == l.flitDrained {
+		return
+	}
+	if now == l.flitDrained+1 {
+		prev := (now & 1) ^ 1
+		for i := range l.flitIn[prev] {
+			l.flits.Push(l.flitIn[prev][i])
+		}
+		l.flitIn[prev] = l.flitIn[prev][:0]
+	} else {
+		a, b := l.flitIn[0], l.flitIn[1]
+		i, j := 0, 0
+		for i < len(a) || j < len(b) {
+			if j == len(b) || (i < len(a) && a[i].At <= b[j].At) {
+				l.flits.Push(a[i])
+				i++
+			} else {
+				l.flits.Push(b[j])
+				j++
+			}
+		}
+		l.flitIn[0], l.flitIn[1] = a[:0], b[:0]
+	}
+	l.flitDrained = now
+}
+
+// drainCredits is drainFlits for the reverse path.
+func (l *Link) drainCredits(now int64) {
+	if now == l.credDrained {
+		return
+	}
+	if now == l.credDrained+1 {
+		prev := (now & 1) ^ 1
+		for i := range l.credIn[prev] {
+			l.credits.push(l.credIn[prev][i])
+		}
+		l.credIn[prev] = l.credIn[prev][:0]
+	} else {
+		a, b := l.credIn[0], l.credIn[1]
+		i, j := 0, 0
+		for i < len(a) || j < len(b) {
+			if j == len(b) || (i < len(a) && a[i].at <= b[j].at) {
+				l.credits.push(a[i])
+				i++
+			} else {
+				l.credits.push(b[j])
+				j++
+			}
+		}
+		l.credIn[0], l.credIn[1] = a[:0], b[:0]
+	}
+	l.credDrained = now
 }
 
 // FaultDropped returns the number of flits destroyed on this link by
@@ -66,6 +152,7 @@ func (l *Link) FaultDropped() int64 { return l.faultDropped }
 
 // RecvFlit returns the next flit whose arrival time has passed.
 func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
+	l.drainFlits(now)
 	t, ok := l.flits.PopDue(now)
 	return t.Flit, ok
 }
@@ -74,6 +161,7 @@ func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
 // it, or nil. Used when the receiver may have to stall the write (bank
 // conflicts).
 func (l *Link) PeekFlit(now int64) *proto.Flit {
+	l.drainFlits(now)
 	if l.flits.Empty() {
 		return nil
 	}
@@ -86,19 +174,31 @@ func (l *Link) PeekFlit(now int64) *proto.Flit {
 
 // DropFlit consumes the flit previously returned by PeekFlit.
 func (l *Link) DropFlit(now int64) {
+	l.drainFlits(now)
 	if _, ok := l.flits.PopDue(now); !ok {
 		panic("core: DropFlit with no due flit")
 	}
 }
 
-// InFlightFlits returns the number of flits on the wire.
-func (l *Link) InFlightFlits() int { return l.flits.Len() }
+// InFlightFlits returns the number of flits on the wire, folded or not.
+// Audit-only: call it only while no component is stepping (between runs,
+// or from the executor's serial PreCycle/PostCycle hooks).
+func (l *Link) InFlightFlits() int {
+	return l.flits.Len() + len(l.flitIn[0]) + len(l.flitIn[1])
+}
 
-// auditFlits calls fn for every flit currently on the wire, oldest first.
-// Used by the invariant checker only; fn must not mutate the flit.
+// auditFlits calls fn for every flit currently on the wire, including
+// entries still in the parity inboxes. Used by the invariant checker only
+// (fn must not mutate the flit), under the same quiescence rule as
+// InFlightFlits; the visit order is deterministic but not arrival order.
 func (l *Link) auditFlits(fn func(*proto.Flit)) {
 	for i := 0; i < l.flits.Len(); i++ {
 		fn(&l.flits.At(i).Flit)
+	}
+	for s := range l.flitIn {
+		for i := range l.flitIn[s] {
+			fn(&l.flitIn[s][i].Flit)
+		}
 	}
 }
 
@@ -107,17 +207,40 @@ func (l *Link) auditCredits(fn func(proto.Credit)) {
 	for i := 0; i < l.credits.n; i++ {
 		fn(l.credits.at(i).c)
 	}
+	for i := 0; i < l.synth.n; i++ {
+		fn(l.synth.at(i).c)
+	}
+	for s := range l.credIn {
+		for i := range l.credIn[s] {
+			fn(l.credIn[s][i].c)
+		}
+	}
 }
 
 // SendCredit returns a credit to the link's producer; it arrives after the
 // same latency as the forward path.
 func (l *Link) SendCredit(now int64, c proto.Credit) {
-	l.credits.push(timedCredit{at: now + l.Latency, c: c})
+	s := now & 1
+	l.credIn[s] = append(l.credIn[s], timedCredit{at: now + l.Latency, c: c})
 }
 
-// RecvCredit returns the next credit whose arrival time has passed.
+// RecvCredit returns the next credit whose arrival time has passed: the
+// earlier-due of the receiver's returned credits and the synthesized
+// fault-drop credits, ties going to the receiver's. Due-time order (rather
+// than a single interleaved FIFO) keeps the result independent of how the
+// two push sides interleave within a cycle, which the parallel executor
+// does not define.
 func (l *Link) RecvCredit(now int64) (proto.Credit, bool) {
-	return l.credits.popDue(now)
+	l.drainCredits(now)
+	cf, cok := l.credits.front()
+	sf, sok := l.synth.front()
+	switch {
+	case cok && cf.at <= now && (!sok || cf.at <= sf.at):
+		return l.credits.popDue(now)
+	case sok && sf.at <= now:
+		return l.synth.popDue(now)
+	}
+	return proto.Credit{}, false
 }
 
 type timedCredit struct {
@@ -151,6 +274,13 @@ func (r *timedCreditRing) push(t timedCredit) {
 
 func (r *timedCreditRing) at(i int) *timedCredit {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *timedCreditRing) front() (timedCredit, bool) {
+	if r.n == 0 {
+		return timedCredit{}, false
+	}
+	return r.buf[r.head], true
 }
 
 func (r *timedCreditRing) popDue(now int64) (proto.Credit, bool) {

@@ -464,6 +464,11 @@ func (s *Switch) BufferFill() (inUsed, inCap, outUsed, outCap int) {
 	return
 }
 
+// The switch is a sim.Stepper so the network can drive it through the
+// parallel executor; it communicates only over latency>=1 links, which is
+// the property the executor's partitioning relies on.
+var _ sim.Stepper = (*Switch)(nil)
+
 // Step advances the switch one cycle. Stages run in reverse pipeline order
 // so a flit advances at most one stage per cycle; arrivals are folded in
 // last so flits that land at cycle t first compete for the row bus at t+1.

@@ -5,10 +5,12 @@ import (
 	"stashsim/internal/stats"
 )
 
-// Collector aggregates measurements across endpoints. A single collector
-// is shared by all endpoints of a network; the simulator's default
-// executor is serial, so no synchronization is needed. Measurement can be
-// gated (warmup) and reset between phases.
+// Collector aggregates measurements from one or more endpoints. A
+// collector is single-writer: under the parallel executor the network
+// gives every endpoint its own shard (see CollectorSet) and merges them in
+// fixed shard order at read time, so no synchronization is needed on the
+// recording path. Measurement can be gated (warmup) and reset between
+// phases.
 type Collector struct {
 	// Enabled gates all recording (false during warmup).
 	Enabled bool
@@ -184,6 +186,46 @@ func (c *Collector) Reset() {
 	c.RecoveryAcc = stats.Acc{}
 	if c.RecoveryHist != nil {
 		c.RecoveryHist = &stats.Hist{}
+	}
+}
+
+// Merge folds another collector into c: accumulators, histograms, time
+// series and scalar counts all combine as if o's observations had been
+// recorded on c. Optional sinks present on o are allocated on c as needed.
+// Configuration (Enabled) is not touched.
+func (c *Collector) Merge(o *Collector) {
+	for i := range c.LatAcc {
+		c.LatAcc[i].Merge(o.LatAcc[i])
+		if o.LatHist[i] != nil {
+			if c.LatHist[i] == nil {
+				c.LatHist[i] = &stats.Hist{}
+			}
+			c.LatHist[i].Merge(o.LatHist[i])
+		}
+		if o.Series[i] != nil {
+			if c.Series[i] == nil {
+				c.Series[i] = stats.NewTimeSeries(o.Series[i].BinWidth)
+			}
+			c.Series[i].Merge(o.Series[i])
+		}
+		c.OfferedFlits[i] += o.OfferedFlits[i]
+		c.DeliveredFlits[i] += o.DeliveredFlits[i]
+		c.DeliveredPkts[i] += o.DeliveredPkts[i]
+	}
+	c.Acks += o.Acks
+	c.Errors += o.Errors
+	c.WindowShrinks += o.WindowShrinks
+	c.DuplicatesSuppressed += o.DuplicatesSuppressed
+	c.CorruptPkts += o.CorruptPkts
+	c.EndpointRetransmits += o.EndpointRetransmits
+	c.RetransAbandons += o.RetransAbandons
+	c.RecoveredPkts += o.RecoveredPkts
+	c.RecoveryAcc.Merge(o.RecoveryAcc)
+	if o.RecoveryHist != nil {
+		if c.RecoveryHist == nil {
+			c.RecoveryHist = &stats.Hist{}
+		}
+		c.RecoveryHist.Merge(o.RecoveryHist)
 	}
 }
 

@@ -1,0 +1,125 @@
+package endpoint
+
+import "stashsim/internal/proto"
+
+// CollectorSet shards measurement collection per endpoint so the parallel
+// executor can step endpoints concurrently without synchronizing the
+// recording hot path: endpoint i writes only to Shard(i), and readers fold
+// the shards together in fixed shard order.
+//
+// The merge order is what keeps results bit-identical across worker
+// counts: each shard's contents depend only on its endpoint's own
+// deterministic event sequence, and Merged always combines shards
+// 0,1,2,... — so float accumulation order (which is not associative) is
+// the same whether the run used one worker or eight.
+//
+// Most methods are safe on a nil *CollectorSet (no-ops / zero values), so
+// a hand-built network without collectors degrades gracefully.
+type CollectorSet struct {
+	shards []*Collector
+}
+
+// NewCollectorSet returns a set of n enabled collectors.
+func NewCollectorSet(n int) *CollectorSet {
+	cs := &CollectorSet{shards: make([]*Collector, n)}
+	for i := range cs.shards {
+		cs.shards[i] = NewCollector()
+	}
+	return cs
+}
+
+// Len returns the number of shards (0 for a nil set).
+func (cs *CollectorSet) Len() int {
+	if cs == nil {
+		return 0
+	}
+	return len(cs.shards)
+}
+
+// Shard returns the i-th shard. Each endpoint must record only through its
+// own shard.
+func (cs *CollectorSet) Shard(i int) *Collector { return cs.shards[i] }
+
+// SetEnabled gates recording on every shard (false during warmup).
+func (cs *CollectorSet) SetEnabled(on bool) {
+	if cs == nil {
+		return
+	}
+	for _, c := range cs.shards {
+		c.Enabled = on
+	}
+}
+
+// Reset clears all measurements on every shard, keeping the optional-sink
+// configuration.
+func (cs *CollectorSet) Reset() {
+	if cs == nil {
+		return
+	}
+	for _, c := range cs.shards {
+		c.Reset()
+	}
+}
+
+// WithHist allocates a latency histogram for the class on every shard.
+func (cs *CollectorSet) WithHist(class proto.Class) *CollectorSet {
+	for _, c := range cs.shards {
+		c.WithHist(class)
+	}
+	return cs
+}
+
+// WithSeries allocates a latency time series for the class on every shard.
+func (cs *CollectorSet) WithSeries(class proto.Class, binWidth int64) *CollectorSet {
+	for _, c := range cs.shards {
+		c.WithSeries(class, binWidth)
+	}
+	return cs
+}
+
+// WithRecoveryHist allocates the recovery-latency histogram on every shard.
+func (cs *CollectorSet) WithRecoveryHist() *CollectorSet {
+	for _, c := range cs.shards {
+		c.WithRecoveryHist()
+	}
+	return cs
+}
+
+// Merged folds every shard, in shard order, into one aggregate collector.
+// The result is a snapshot: it does not track later recording.
+func (cs *CollectorSet) Merged() *Collector {
+	out := NewCollector()
+	if cs == nil {
+		return out
+	}
+	for _, c := range cs.shards {
+		out.Merge(c)
+	}
+	return out
+}
+
+// TotalDeliveredFlits sums delivered data flits across all shards and
+// classes without building a merged snapshot (cheap enough for RunUntil
+// predicates polled every few hundred cycles).
+func (cs *CollectorSet) TotalDeliveredFlits() int64 {
+	if cs == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range cs.shards {
+		n += c.TotalDeliveredFlits()
+	}
+	return n
+}
+
+// TotalOfferedFlits sums offered data flits across all shards and classes.
+func (cs *CollectorSet) TotalOfferedFlits() int64 {
+	if cs == nil {
+		return 0
+	}
+	var n int64
+	for _, c := range cs.shards {
+		n += c.TotalOfferedFlits()
+	}
+	return n
+}

@@ -140,8 +140,9 @@ type Endpoint struct {
 	// packet (used by the trace replay engine).
 	OnDelivered func(d Delivery)
 
-	// Collector receives measurements; shared across endpoints by the
-	// network (the default executor is serial).
+	// Collector receives measurements. The network hands every endpoint
+	// its own CollectorSet shard, so recording stays single-writer even
+	// when the parallel executor steps endpoints concurrently.
 	Collector *Collector
 
 	// SentFlits counts every flit injected (data and ACK), used by
@@ -231,6 +232,10 @@ func (e *Endpoint) EnqueueMessage(dst int32, flits int, class proto.Class, msgID
 		e.Collector.Offered(class, int64(flits))
 	}
 }
+
+// The endpoint is a sim.Stepper so the network can drive it through the
+// parallel executor alongside the switches.
+var _ sim.Stepper = (*Endpoint)(nil)
 
 // Step advances the endpoint one cycle: generate traffic, consume ejected
 // flits (producing ACKs), and inject one flit when the serialization

@@ -115,13 +115,31 @@ type Stats struct {
 	StashCopiesLost int64
 }
 
+// merge folds another stats value into s.
+func (s *Stats) merge(o Stats) {
+	s.PktsDropped += o.PktsDropped
+	s.FlitsDropped += o.FlitsDropped
+	s.OutagePkts += o.OutagePkts
+	s.FlitsCorrupted += o.FlitsCorrupted
+	s.StashCopiesLost += o.StashCopiesLost
+}
+
 // Injector materializes a plan: it hands out per-link fault state at
 // wiring time and schedules the stash-bank failure events. A nil
 // *Injector is inactive.
+//
+// Fault counts are sharded for the parallel executor: every LinkFault owns
+// its own Stats (incremented only by the goroutine stepping the link's
+// producer), plus one coordinator-owned shard for stash-bank failures
+// applied at the cycle barrier. Snapshot merges the shards in wiring order.
 type Injector struct {
 	plan Plan
-	// Stats accumulates injected-fault counts; the per-link states share it.
-	Stats Stats
+	// local is the coordinator-owned stats shard (stash-bank failures are
+	// applied serially between cycles).
+	local Stats
+	// links holds every handed-out per-link fault state in wiring order,
+	// the order Snapshot merges them in.
+	links []*LinkFault
 
 	matched  map[string]bool // outage link names seen at wiring time
 	fails    []StashFail     // sorted by At
@@ -171,13 +189,34 @@ func (in *Injector) Link(name string) *LinkFault {
 	if in.plan.LinkDropRate == 0 && in.plan.CorruptRate == 0 && len(outages) == 0 {
 		return nil
 	}
-	return &LinkFault{
-		stats:   &in.Stats,
+	lf := &LinkFault{
 		rng:     sim.NewRNG(in.plan.Seed ^ hashName(name)),
 		drop:    in.plan.LinkDropRate,
 		corrupt: in.plan.CorruptRate,
 		outages: outages,
 	}
+	in.links = append(in.links, lf)
+	return lf
+}
+
+// Snapshot merges the coordinator shard and every per-link shard, in
+// wiring order, into one aggregate Stats. Call it between runs or at a
+// cycle barrier; it must not race with in-flight link traffic.
+func (in *Injector) Snapshot() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	s := in.local
+	for _, lf := range in.links {
+		s.merge(lf.stats)
+	}
+	return s
+}
+
+// AddStashCopiesLost records copies invalidated by a stash-bank failure on
+// the coordinator shard (failures apply serially between cycles).
+func (in *Injector) AddStashCopiesLost(n int64) {
+	in.local.StashCopiesLost += n
 }
 
 // UnmatchedOutages returns the outage link names that no wired link
@@ -230,9 +269,11 @@ func (in *Injector) OutageNote(from, to int64) string {
 }
 
 // LinkFault is the per-link fault state consulted on every transmitted
-// flit. A nil *LinkFault delivers everything untouched.
+// flit. A nil *LinkFault delivers everything untouched. Each LinkFault is
+// touched only by the goroutine stepping the link's producer, so its stats
+// shard needs no synchronization.
 type LinkFault struct {
-	stats   *Stats
+	stats   Stats
 	rng     *sim.RNG
 	drop    float64
 	corrupt float64

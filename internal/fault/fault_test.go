@@ -41,12 +41,13 @@ func TestDropIsWholePacket(t *testing.T) {
 			t.Fatalf("packet %d partially dropped: %d of %d flits", p, dropped, size)
 		}
 	}
-	if in.Stats.PktsDropped == 0 || in.Stats.PktsDropped == pkts {
-		t.Fatalf("drop rate 0.5 dropped %d of %d packets", in.Stats.PktsDropped, pkts)
+	st := in.Snapshot()
+	if st.PktsDropped == 0 || st.PktsDropped == pkts {
+		t.Fatalf("drop rate 0.5 dropped %d of %d packets", st.PktsDropped, pkts)
 	}
-	if in.Stats.FlitsDropped != in.Stats.PktsDropped*size {
+	if st.FlitsDropped != st.PktsDropped*size {
 		t.Fatalf("flit count %d inconsistent with %d dropped packets of size %d",
-			in.Stats.FlitsDropped, in.Stats.PktsDropped, size)
+			st.FlitsDropped, st.PktsDropped, size)
 	}
 }
 
@@ -108,8 +109,8 @@ func TestCorruptionFlipsChecksum(t *testing.T) {
 	if f.Csum == proto.FlitSum(f) {
 		t.Fatal("corrupted flit still has a valid checksum")
 	}
-	if in.Stats.FlitsCorrupted != 1 {
-		t.Fatalf("FlitsCorrupted = %d, want 1", in.Stats.FlitsCorrupted)
+	if got := in.Snapshot().FlitsCorrupted; got != 1 {
+		t.Fatalf("FlitsCorrupted = %d, want 1", got)
 	}
 }
 

@@ -46,7 +46,10 @@ func Ablations(o *Options) (*stats.Table, error) {
 	warm := o.scaleDur(8000)
 	meas := o.scaleDur(16000)
 	t := &stats.Table{Header: []string{"Variant", "Accepted", "MeanLatUS", "StashFullStalls", "BankConflicts"}}
-	for _, a := range cases {
+	// Each ablation case is an independent design point.
+	rows := make([][]string, len(cases))
+	err := o.forEachPoint(len(cases), func(i int) error {
+		a := cases[i]
 		cfg := o.netConfig(core.StashE2E, 1.0, false)
 		if a.mutate != nil {
 			a.mutate(cfg)
@@ -69,12 +72,19 @@ func Ablations(o *Options) (*stats.Table, error) {
 		// one 10-byte flit per ns): 1/1.3 ns at the paper's speedup,
 		// 1 ns at the 1.0x ablation.
 		nsPerCycle := float64(cfg.RateNum) / float64(cfg.RateDen)
-		t.AddRow(a.name,
+		rows[i] = []string{a.name,
 			fmtF(n.NormalizedAccepted(meas), 3),
-			fmtF(n.Collector.LatAcc[proto.ClassDefault].Mean()*nsPerCycle/1000, 3),
+			fmtF(n.Collector().LatAcc[proto.ClassDefault].Mean()*nsPerCycle/1000, 3),
 			fmtF(float64(c.StashFullStalls), 0),
-			fmtF(float64(banks), 0))
+			fmtF(float64(banks), 0)}
 		o.logf("ablation %q: accepted=%.3f", a.name, n.NormalizedAccepted(meas))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, o.writeCSV("ablations", t)
 }

@@ -48,9 +48,13 @@ func Faults(o *Options) (*stats.Table, error) {
 			v.name+"_RecLat_us", v.name+"_Recovered", v.name+"_Resends", v.name+"_Dups")
 	}
 
-	for _, rate := range rates {
-		row := []string{fmt.Sprintf("%.0e", rate)}
-		for _, v := range variants {
+	// Every (rate, variant) pair is an independent design point producing
+	// four table cells.
+	cells := make([][4]string, len(rates)*len(variants))
+	err := o.forEachPoint(len(cells), func(i int) error {
+		rate := rates[i/len(variants)]
+		v := variants[i%len(variants)]
+		{
 			cfg := o.netConfig(v.mode, 1.0, false)
 			cfg.Retrans = core.DefaultRetrans()
 			if v.mode == core.StashE2E {
@@ -70,22 +74,32 @@ func Faults(o *Options) (*stats.Table, error) {
 				ep.Gen = nil
 			}
 			if !n.Drain(drainBudget) {
-				return nil, fmt.Errorf("faults: %s at rate %.0e did not drain in %d cycles",
+				return fmt.Errorf("faults: %s at rate %.0e did not drain in %d cycles",
 					v.name, rate, int64(drainBudget))
 			}
 			if err := assertExactlyOnce(n); err != nil {
-				return nil, fmt.Errorf("faults: %s at rate %.0e: %w", v.name, rate, err)
+				return fmt.Errorf("faults: %s at rate %.0e: %w", v.name, rate, err)
 			}
-			c := n.Collector
+			c := n.Collector()
 			recUS := c.RecoveryAcc.Mean() / 1300 // cycles -> us
 			resends := n.Counters().E2ERetransmits + c.EndpointRetransmits
-			row = append(row,
+			cells[i] = [4]string{
 				fmtF(recUS, 2),
 				fmt.Sprintf("%d", c.RecoveredPkts),
 				fmt.Sprintf("%d", resends),
-				fmt.Sprintf("%d", c.DuplicatesSuppressed))
+				fmt.Sprintf("%d", c.DuplicatesSuppressed)}
 			o.logf("faults rate=%.0e %s: recovered=%d recLat=%.2fus resends=%d",
 				rate, v.name, c.RecoveredPkts, recUS, resends)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
+		row := []string{fmt.Sprintf("%.0e", rate)}
+		for vi := range variants {
+			row = append(row, cells[ri*len(variants)+vi][:]...)
 		}
 		t.AddRow(row...)
 	}

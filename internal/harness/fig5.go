@@ -23,32 +23,47 @@ func Fig5(o *Options) (*stats.Table, *stats.Table, error) {
 	warm := o.scaleDur(10000)
 	meas := o.scaleDur(25000)
 
+	variants := e2eVariants()
 	lat := &stats.Table{Header: []string{"OfferedLoad"}}
 	acc := &stats.Table{Header: []string{"OfferedLoad"}}
-	for _, v := range e2eVariants() {
+	for _, v := range variants {
 		lat.Header = append(lat.Header, v.name)
 		acc.Header = append(acc.Header, v.name)
 	}
 
-	for _, load := range loads {
+	// Every (load, variant) pair is an independent design point; fan them
+	// out and assemble the tables in index order afterwards.
+	type cell struct{ lat, acc string }
+	cells := make([]cell, len(loads)*len(variants))
+	err := o.forEachPoint(len(cells), func(i int) error {
+		load := loads[i/len(variants)]
+		v := variants[i%len(variants)]
+		cfg := o.netConfig(v.mode, v.capFrac, false)
+		n := o.mustNet(cfg)
+		rng := sim.NewRNG(cfg.Seed + 1000)
+		rate := n.ChannelRate()
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				load, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Warmup(warm)
+		n.Run(meas)
+		meanNS := n.Collector().LatAcc[proto.ClassDefault].Mean() / 1.3
+		cells[i] = cell{fmtF(meanNS/1000, 3), fmtF(n.NormalizedAccepted(meas), 3)} // us
+		o.logf("fig5 load=%.2f %s: lat=%.3fus acc=%.3f", load, v.name,
+			meanNS/1000, n.NormalizedAccepted(meas))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for li, load := range loads {
 		latRow := []string{fmtF(load, 2)}
 		accRow := []string{fmtF(load, 2)}
-		for _, v := range e2eVariants() {
-			cfg := o.netConfig(v.mode, v.capFrac, false)
-			n := o.mustNet(cfg)
-			rng := sim.NewRNG(cfg.Seed + 1000)
-			rate := n.ChannelRate()
-			for _, ep := range n.Endpoints {
-				ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
-					load, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
-			}
-			n.Warmup(warm)
-			n.Run(meas)
-			meanNS := n.Collector.LatAcc[proto.ClassDefault].Mean() / 1.3
-			latRow = append(latRow, fmtF(meanNS/1000, 3)) // us
-			accRow = append(accRow, fmtF(n.NormalizedAccepted(meas), 3))
-			o.logf("fig5 load=%.2f %s: lat=%.3fus acc=%.3f", load, v.name,
-				meanNS/1000, n.NormalizedAccepted(meas))
+		for vi := range variants {
+			c := cells[li*len(variants)+vi]
+			latRow = append(latRow, c.lat)
+			accRow = append(accRow, c.acc)
 		}
 		lat.AddRow(latRow...)
 		acc.AddRow(accRow...)

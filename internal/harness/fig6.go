@@ -36,31 +36,47 @@ func Fig6(o *Options) (*stats.Table, error) {
 	}
 
 	budget := o.scaleDur(3_000_000)
-	for _, app := range tracegen.Apps() {
-		tr := app.Generate(scale)
-		if err := tr.Validate(); err != nil {
+	apps := tracegen.Apps()
+	variants := e2eVariants()
+	// Generate each trace once up front; replays share it read-only (every
+	// Replay owns its bookkeeping maps), so all (app, variant) design
+	// points are independent and fan out over the sweep pool. Row i of the
+	// table normalizes against its own variant-0 run, which is why results
+	// are collected by index and assembled only after every point is done.
+	traces := make([]*trace.Trace, len(apps))
+	for ai, app := range apps {
+		traces[ai] = app.Generate(scale)
+		if err := traces[ai].Validate(); err != nil {
 			return nil, err
 		}
-		row := []string{app.Name, fmt.Sprint(tr.Ranks)}
-		var baseCycles int64
-		for i, v := range e2eVariants() {
-			cfg := o.netConfig(v.mode, v.capFrac, false)
-			n := o.mustNet(cfg)
-			o.watchNet(n, budget/4)
-			rp, err := trace.NewReplay(tr, n, 0)
-			if err != nil {
-				return nil, err
-			}
-			cycles, err := rp.Run(budget)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				baseCycles = cycles
-			}
-			row = append(row, fmtF(float64(cycles)/float64(baseCycles), 3))
-			o.logf("fig6 %s %s: %d cycles (%.2f us) norm=%.3f",
-				app.Name, v.name, cycles, cyclesToUS(cycles), float64(cycles)/float64(baseCycles))
+	}
+	cycles := make([]int64, len(apps)*len(variants))
+	err := o.forEachPoint(len(cycles), func(i int) error {
+		app := apps[i/len(variants)]
+		v := variants[i%len(variants)]
+		cfg := o.netConfig(v.mode, v.capFrac, false)
+		n := o.mustNet(cfg)
+		o.watchNet(n, budget/4)
+		rp, err := trace.NewReplay(traces[i/len(variants)], n, 0)
+		if err != nil {
+			return err
+		}
+		c, err := rp.Run(budget)
+		if err != nil {
+			return err
+		}
+		cycles[i] = c
+		o.logf("fig6 %s %s: %d cycles (%.2f us)", app.Name, v.name, c, cyclesToUS(c))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, app := range apps {
+		row := []string{app.Name, fmt.Sprint(traces[ai].Ranks)}
+		baseCycles := cycles[ai*len(variants)]
+		for vi := range variants {
+			row = append(row, fmtF(float64(cycles[ai*len(variants)+vi])/float64(baseCycles), 3))
 		}
 		t.AddRow(row...)
 	}

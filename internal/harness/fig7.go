@@ -117,15 +117,29 @@ func Fig7(o *Options) (*Fig7Result, error) {
 		stash  []float64 // per-bin stash utilization of the hotspot switch
 		agg    []float64 // per-bin aggressor offered load (flits/channel-cycle)
 	}
-	var runs []runOut
 
+	// The three ECN variants plus the no-aggressor reference are four
+	// independent design points; runs[i] holds variant i, the last point
+	// fills refHist.
 	variants := congVariants()
-	for _, v := range variants {
+	runs := make([]runOut, len(variants))
+	var refHist *stats.Hist
+	err := o.forEachPoint(len(variants)+1, func(i int) error {
+		if i == len(variants) {
+			// No-aggressor reference for Fig 7b.
+			refCfg := o.netConfig(core.StashOff, 1.0, true)
+			refSc := newHotspot(o, refCfg, 1<<62) // aggressor never starts
+			refSc.n.Collectors.WithHist(proto.ClassVictim)
+			refSc.n.Run(total)
+			refHist = refSc.n.Collector().LatHist[proto.ClassVictim]
+			return nil
+		}
+		v := variants[i]
 		cfg := o.netConfig(v.mode, v.capFrac, true)
 		sc := newHotspot(o, cfg, start)
 		n := sc.n
-		n.Collector.WithHist(proto.ClassVictim)
-		n.Collector.WithSeries(proto.ClassVictim, bin)
+		n.Collectors.WithHist(proto.ClassVictim)
+		n.Collectors.WithSeries(proto.ClassVictim, bin)
 
 		// Fig 8 probes on the first hotspot switch: stash utilization and
 		// the offered load of its four aggressor sources.
@@ -133,8 +147,8 @@ func Fig7(o *Options) (*Fig7Result, error) {
 		var stashUtil, aggLoad []float64
 		var lastSent int64
 		srcsOfSpot := make([]*endpoint.Endpoint, 0, 4)
-		for i, src := range sc.srcs {
-			if sc.dsts[i%len(sc.dsts)] == sc.dsts[0] {
+		for si, src := range sc.srcs {
+			if sc.dsts[si%len(sc.dsts)] == sc.dsts[0] {
 				srcsOfSpot = append(srcsOfSpot, n.Endpoints[src])
 			}
 		}
@@ -157,19 +171,17 @@ func Fig7(o *Options) (*Fig7Result, error) {
 			n.Run(bin)
 			probe()
 		}
-		runs = append(runs, runOut{v.name, n.Collector.Series[proto.ClassVictim],
-			n.Collector.LatHist[proto.ClassVictim], stashUtil, aggLoad})
+		c := n.Collector()
+		runs[i] = runOut{v.name, c.Series[proto.ClassVictim],
+			c.LatHist[proto.ClassVictim], stashUtil, aggLoad}
 		o.logf("fig7 %s: victim mean=%.0fns p99=%.0fns stashPeak=%.2f",
-			v.name, n.Collector.LatAcc[proto.ClassVictim].Mean()/1.3,
-			float64(runs[len(runs)-1].hist.Percentile(99))/1.3, maxOf(stashUtil))
+			v.name, c.LatAcc[proto.ClassVictim].Mean()/1.3,
+			float64(runs[i].hist.Percentile(99))/1.3, maxOf(stashUtil))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// No-aggressor reference for Fig 7b.
-	refCfg := o.netConfig(core.StashOff, 1.0, true)
-	refSc := newHotspot(o, refCfg, 1<<62) // aggressor never starts
-	refSc.n.Collector.WithHist(proto.ClassVictim)
-	refSc.n.Run(total)
-	refHist := refSc.n.Collector.LatHist[proto.ClassVictim]
 
 	// Fig 7a table.
 	series := &stats.Table{Header: []string{"TimeUS"}}

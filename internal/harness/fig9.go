@@ -27,17 +27,21 @@ func Fig9(o *Options) (*stats.Table, error) {
 	warm := o.scaleDur(usToCycles(8))
 	meas := o.scaleDur(usToCycles(25))
 
+	variants := congVariants()
 	t := &stats.Table{Header: []string{"BurstPkts"}}
-	for _, v := range congVariants() {
+	for _, v := range variants {
 		t.Header = append(t.Header, v.name+" p90us")
 	}
 
-	for _, b := range bursts {
-		row := []string{fmt.Sprint(b)}
-		for _, v := range congVariants() {
+	// Every (burst, variant) pair is an independent design point.
+	cells := make([]string, len(bursts)*len(variants))
+	err := o.forEachPoint(len(cells), func(i int) error {
+		b := bursts[i/len(variants)]
+		v := variants[i%len(variants)]
+		{
 			cfg := o.netConfig(v.mode, v.capFrac, true)
 			n := o.mustNet(cfg)
-			n.Collector.WithHist(proto.ClassVictim)
+			n.Collectors.WithHist(proto.ClassVictim)
 			rng := sim.NewRNG(cfg.Seed + 3000)
 			rate := n.ChannelRate()
 			half := len(n.Endpoints) / 2
@@ -63,13 +67,24 @@ func Fig9(o *Options) (*stats.Table, error) {
 			}
 			n.Warmup(warm)
 			n.Run(meas)
-			h := n.Collector.LatHist[proto.ClassVictim]
+			c := n.Collector()
+			h := c.LatHist[proto.ClassVictim]
 			p90us := float64(h.Percentile(90)) / 1.3 / 1000
-			row = append(row, fmtF(p90us, 3))
+			cells[i] = fmtF(p90us, 3)
 			o.logf("fig9 burst=%d %s: victim p90=%.3fus mean=%.3fus acceptedV=%.3f",
 				b, v.name, p90us,
-				n.Collector.LatAcc[proto.ClassVictim].Mean()/1.3/1000,
-				float64(n.Collector.DeliveredFlits[proto.ClassVictim])/float64(meas)/float64(half)/rate)
+				c.LatAcc[proto.ClassVictim].Mean()/1.3/1000,
+				float64(c.DeliveredFlits[proto.ClassVictim])/float64(meas)/float64(half)/rate)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range bursts {
+		row := []string{fmt.Sprint(b)}
+		for vi := range variants {
+			row = append(row, cells[bi*len(variants)+vi])
 		}
 		t.AddRow(row...)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"stashsim/internal/core"
 	"stashsim/internal/fault"
@@ -40,10 +41,21 @@ type Options struct {
 	// enabled so dropped packets still deliver. The Faults experiment
 	// ignores it and builds its own sweep.
 	FaultPlan *fault.Plan
+	// Workers bounds the sweep-level worker pool that independent design
+	// points (one network, config, RNG and collector each) fan out over;
+	// 0 means GOMAXPROCS. Results are identical for any value: every
+	// point's output lands in an index-addressed slot and tables are
+	// assembled in index order (see forEachPoint).
+	Workers int
+
+	// logMu serializes Log calls from concurrent design points.
+	logMu sync.Mutex
 }
 
 func (o *Options) logf(format string, args ...any) {
 	if o.Log != nil {
+		o.logMu.Lock()
+		defer o.logMu.Unlock()
 		o.Log(format, args...)
 	}
 }

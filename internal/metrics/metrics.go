@@ -7,35 +7,45 @@
 // handle method is safe on a nil receiver and a nil handle is a single
 // predictable branch, so instrumentation sites need no build tags and the
 // disabled path (the default) performs no allocations and no map lookups.
-// Handles are resolved once at wiring time; increments are plain int64
-// adds. Each scope is owned by the component that registered it — the
-// simulator steps one switch on one goroutine — so increments need no
-// atomics; cross-scope reads (tables, snapshots) happen after a run.
+// Handles are resolved once at wiring time. Worker-safety under the
+// parallel executor comes from ownership sharding: each scope is owned by
+// the component that registered it (one switch, one tile), and the
+// executor pins every component to exactly one worker goroutine — so the
+// per-scope counters ARE the per-worker shards, and cross-scope reads
+// (Totals, Sum, Table) merge them at read time. Counter additionally uses
+// atomic adds so a handle that does leak across components cannot tear;
+// Hist serializes with a mutex for the same reason. Gauges are evaluated
+// only at snapshot time (between cycles or after a run), never while
+// components are stepping.
 package metrics
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stashsim/internal/stats"
 )
 
 // Counter is a monotonically increasing int64. The zero value is usable;
-// a nil *Counter is a no-op handle (the disabled fast path).
-type Counter struct{ v int64 }
+// a nil *Counter is a no-op handle (the disabled fast path, zero
+// allocations). Increments are atomic: scope ownership already keeps each
+// counter single-writer under the parallel executor, the atomics are the
+// belt-and-suspenders for handles shared across components.
+type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		c.v.Add(1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -44,25 +54,35 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Hist is a histogram handle wrapping stats.Hist; a nil *Hist is a no-op.
-type Hist struct{ h stats.Hist }
+// Observations serialize on an internal mutex (histogram handles are off
+// the per-cycle hot path).
+type Hist struct {
+	mu sync.Mutex
+	h  stats.Hist
+}
 
 // Observe records one observation.
 func (h *Hist) Observe(v int64) {
 	if h != nil {
+		h.mu.Lock()
 		h.h.Add(v)
+		h.mu.Unlock()
 	}
 }
 
-// Snapshot exposes the underlying histogram (nil for a nil handle).
+// Snapshot copies the underlying histogram (nil for a nil handle).
 func (h *Hist) Snapshot() *stats.Hist {
 	if h == nil {
 		return nil
 	}
-	return &h.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.h
+	return &c
 }
 
 // Scope is a named namespace of metrics (one per switch, one per tile).
@@ -171,7 +191,7 @@ func (r *Registry) Each(fn func(scope, name string, value float64)) {
 	for _, sn := range r.sorder {
 		s := r.scopes[sn]
 		for _, cn := range s.corder {
-			fn(sn, cn, float64(s.counters[cn].v))
+			fn(sn, cn, float64(s.counters[cn].Value()))
 		}
 		for _, gn := range s.gorder {
 			fn(sn, gn, s.gauges[gn]())
@@ -189,7 +209,7 @@ func (r *Registry) Totals() (names []string, values []int64) {
 	r.mu.Lock()
 	for _, s := range r.scopes {
 		for n, c := range s.counters {
-			sums[n] += c.v
+			sums[n] += c.Value()
 		}
 	}
 	r.mu.Unlock()
@@ -213,7 +233,7 @@ func (r *Registry) Sum(name string) int64 {
 	defer r.mu.Unlock()
 	for _, s := range r.scopes {
 		if c, ok := s.counters[name]; ok {
-			total += c.v
+			total += c.Value()
 		}
 	}
 	return total
@@ -239,7 +259,7 @@ func (r *Registry) Table() *stats.Table {
 	for _, sn := range r.sorder {
 		s := r.scopes[sn]
 		for _, hn := range s.horder {
-			h := &s.hists[hn].h
+			h := s.hists[hn].Snapshot()
 			t.AddRow(sn, hn+".count", fmt.Sprintf("%d", h.N()))
 			t.AddRow(sn, hn+".mean", fmt.Sprintf("%.2f", h.Mean()))
 			t.AddRow(sn, hn+".p99", fmt.Sprintf("%d", h.Percentile(99)))

@@ -47,7 +47,7 @@ func TestECNThrottlesHotspot(t *testing.T) {
 	if c.ECNMarks == 0 {
 		t.Fatal("no ECN marks under a 4:1 hotspot")
 	}
-	if n.Collector.WindowShrinks == 0 {
+	if n.Collector().WindowShrinks == 0 {
 		t.Fatal("no window shrinks despite marked ACKs")
 	}
 	// The aggressor sources' windows for the hotspot must have been
@@ -97,18 +97,18 @@ func TestCongestionStashAbsorbsHotspot(t *testing.T) {
 
 func TestCongestionStashImprovesVictimLatency(t *testing.T) {
 	base := buildHotspot(t, core.StashOff, 2000)
-	base.Collector.WithHist(proto.ClassVictim)
+	base.Collectors.WithHist(proto.ClassVictim)
 	base.Run(40000)
 	stash := buildHotspot(t, core.StashCongestion, 2000)
-	stash.Collector.WithHist(proto.ClassVictim)
+	stash.Collectors.WithHist(proto.ClassVictim)
 	stash.Run(40000)
 
-	b99 := base.Collector.LatHist[proto.ClassVictim].Percentile(99)
-	s99 := stash.Collector.LatHist[proto.ClassVictim].Percentile(99)
+	b99 := base.Collector().LatHist[proto.ClassVictim].Percentile(99)
+	s99 := stash.Collector().LatHist[proto.ClassVictim].Percentile(99)
 	t.Logf("victim p99: baseline=%d stash=%d; mean baseline=%.0f stash=%.0f",
 		b99, s99,
-		base.Collector.LatAcc[proto.ClassVictim].Mean(),
-		stash.Collector.LatAcc[proto.ClassVictim].Mean())
+		base.Collector().LatAcc[proto.ClassVictim].Mean(),
+		stash.Collector().LatAcc[proto.ClassVictim].Mean())
 	if s99 > b99 {
 		t.Fatalf("stashing worsened victim tail latency: %d > %d", s99, b99)
 	}

@@ -74,8 +74,8 @@ func assertExactlyOnce(t *testing.T, n *Network, drainBudget int64) {
 		t.Fatalf("%d packets abandoned under a recoverable fault plan", abandoned)
 	}
 	// Duplicates were suppressed, never delivered to the application.
-	if dups != n.Collector.DuplicatesSuppressed {
-		t.Fatalf("endpoint dup count %d != collector %d", dups, n.Collector.DuplicatesSuppressed)
+	if dups != n.Collector().DuplicatesSuppressed {
+		t.Fatalf("endpoint dup count %d != collector %d", dups, n.Collector().DuplicatesSuppressed)
 	}
 	if err := n.SanityCheck(); err != nil {
 		t.Fatal(err)
@@ -95,12 +95,12 @@ func TestExactlyOnceUnderDrops(t *testing.T) {
 		t.Fatal("fault plan injected no drops; the property was not exercised")
 	}
 	c := n.Counters()
-	if c.E2ERetransmits == 0 && n.Collector.EndpointRetransmits == 0 {
+	if c.E2ERetransmits == 0 && n.Collector().EndpointRetransmits == 0 {
 		t.Fatal("drops recovered without any retransmission path firing")
 	}
 	t.Logf("dropped %d pkts (%d flits); stash resends %d, endpoint resends %d, dups suppressed %d",
 		st.PktsDropped, st.FlitsDropped, c.E2ERetransmits,
-		n.Collector.EndpointRetransmits, n.Collector.DuplicatesSuppressed)
+		n.Collector().EndpointRetransmits, n.Collector().DuplicatesSuppressed)
 }
 
 // TestExactlyOnceUnderOutage blacks out one switch-to-switch channel for
@@ -134,7 +134,7 @@ func TestOutageOnInjectionLinkFallsBackToSource(t *testing.T) {
 	if n.FaultStats().OutagePkts == 0 {
 		t.Fatal("endpoint 0 injected nothing during its outage window")
 	}
-	if n.Collector.EndpointRetransmits == 0 {
+	if n.Collector().EndpointRetransmits == 0 {
 		t.Fatal("injection-link outage recovered without source retransmission")
 	}
 }
@@ -175,7 +175,7 @@ func TestCorruptionDetectedAndRecovered(t *testing.T) {
 	if st.FlitsCorrupted == 0 {
 		t.Fatal("corruption rate injected nothing")
 	}
-	if n.Collector.CorruptPkts == 0 {
+	if n.Collector().CorruptPkts == 0 {
 		t.Fatal("corrupted flits were never detected at a destination")
 	}
 }

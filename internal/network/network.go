@@ -21,7 +21,14 @@ type Network struct {
 	Cfg       *core.Config
 	Switches  []*core.Switch
 	Endpoints []*endpoint.Endpoint
-	Collector *endpoint.Collector
+
+	// Collectors holds one measurement shard per endpoint (endpoint i
+	// records only into shard i), so the parallel executor can step
+	// endpoints concurrently with no synchronization on the recording
+	// path. Read aggregates through Collector(), which merges the shards
+	// in fixed shard order — the order that keeps float accumulation, and
+	// therefore -json output, bit-identical across worker counts.
+	Collectors *endpoint.CollectorSet
 
 	// Observability sinks; all nil (disabled) by default. See the
 	// EnableMetrics/EnableTracing/AttachSampler/AttachWatchdog wiring
@@ -41,6 +48,11 @@ type Network struct {
 	Injector *fault.Injector
 
 	Now sim.Tick
+
+	// workers selects the cycle-level execution mode (SetWorkers); exec is
+	// the lazily built parallel executor over all endpoints and switches.
+	workers int
+	exec    *sim.Executor
 }
 
 // New builds and wires a network from the configuration.
@@ -51,10 +63,10 @@ func New(cfg *core.Config) (*Network, error) {
 	d := cfg.Topo
 	rng := sim.NewRNG(cfg.Seed)
 	n := &Network{
-		Cfg:       cfg,
-		Switches:  make([]*core.Switch, d.NumSwitches()),
-		Endpoints: make([]*endpoint.Endpoint, d.NumEndpoints()),
-		Collector: endpoint.NewCollector(),
+		Cfg:        cfg,
+		Switches:   make([]*core.Switch, d.NumSwitches()),
+		Endpoints:  make([]*endpoint.Endpoint, d.NumEndpoints()),
+		Collectors: endpoint.NewCollectorSet(d.NumEndpoints()),
 	}
 	swRNG := rng.Derive(1)
 	epRNG := rng.Derive(2)
@@ -63,7 +75,7 @@ func New(cfg *core.Config) (*Network, error) {
 	}
 	for i := range n.Endpoints {
 		ep := endpoint.New(int32(i), cfg, epRNG)
-		ep.Collector = n.Collector
+		ep.Collector = n.Collectors.Shard(i)
 		n.Endpoints[i] = ep
 	}
 	if cfg.FaultActive() {
@@ -277,38 +289,114 @@ func (n *Network) DumpNonIdle(w io.Writer) {
 	}
 }
 
-// Step advances the whole network one cycle.
-func (n *Network) Step() {
-	now := n.Now
+// preCycle applies the per-cycle singleton work that must precede any
+// component step: due stash-bank failure events. Under the parallel
+// executor it runs serially at the cycle barrier (the coordinator's
+// PreCycle hook).
+func (n *Network) preCycle(now sim.Tick) {
 	if n.Injector.HasStashFails() {
 		for _, sf := range n.Injector.DueStashFails(int64(now)) {
 			lost := n.Switches[sf.Switch].FailStashBank(now, sf.Port)
-			n.Injector.Stats.StashCopiesLost += int64(lost)
+			n.Injector.AddStashCopiesLost(int64(lost))
 		}
 	}
+}
+
+// postCycle runs the per-cycle singleton observers after every component
+// has stepped: sampler, watchdog, invariant audit. Under the parallel
+// executor it runs serially at the cycle barrier (the coordinator's
+// PostCycle hook), so the probes see a quiescent network.
+func (n *Network) postCycle(now sim.Tick) {
+	n.Sampler.MaybeSample(now)
+	n.Watchdog.Observe(now)
+	n.Invariants.Check(now)
+}
+
+// Step advances the whole network one cycle on the calling goroutine.
+func (n *Network) Step() {
+	now := n.Now
+	n.preCycle(now)
 	for _, ep := range n.Endpoints {
 		ep.Step(now)
 	}
 	for _, s := range n.Switches {
 		s.Step(now)
 	}
-	n.Sampler.MaybeSample(now)
-	n.Watchdog.Observe(now)
-	n.Invariants.Check(now)
+	n.postCycle(now)
 	n.Now++
 }
 
-// Run advances the network by the given number of cycles.
+// SetWorkers selects the cycle-level execution mode for Run: workers <= 1
+// (the default) steps every component serially on the calling goroutine;
+// workers > 1 partitions endpoints and switches round-robin across that
+// many long-lived goroutines synchronized by a per-cycle barrier (see
+// sim.Executor). Components communicate only over latency>=1 links, so
+// intra-cycle step order is irrelevant and results are bit-identical for
+// any worker count. Call before Run; call Close when done with a parallel
+// network to release the worker goroutines.
+func (n *Network) SetWorkers(workers int) {
+	if workers == n.workers {
+		return
+	}
+	if n.exec != nil {
+		n.exec.Close()
+		n.exec = nil
+	}
+	n.workers = workers
+}
+
+// executor lazily builds the parallel executor over every endpoint and
+// switch, with the per-cycle singletons installed as barrier hooks.
+func (n *Network) executor() *sim.Executor {
+	if n.exec == nil {
+		comps := make([]sim.Stepper, 0, len(n.Endpoints)+len(n.Switches))
+		for _, ep := range n.Endpoints {
+			comps = append(comps, ep)
+		}
+		for _, s := range n.Switches {
+			comps = append(comps, s)
+		}
+		n.exec = sim.NewExecutor(comps, n.workers)
+		n.exec.PreCycle = n.preCycle
+		n.exec.PostCycle = n.postCycle
+	}
+	return n.exec
+}
+
+// Close releases the parallel executor's worker goroutines, if any. The
+// network remains usable afterwards (runs fall back to the serial path).
+func (n *Network) Close() {
+	if n.exec != nil {
+		n.exec.Close()
+		n.exec = nil
+	}
+}
+
+// Run advances the network by the given number of cycles, using the
+// parallel executor when SetWorkers enabled it.
 func (n *Network) Run(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	if n.workers > 1 {
+		from := n.Now
+		n.executor().Run(from, from+sim.Tick(cycles))
+		n.Now = from + sim.Tick(cycles)
+		return
+	}
 	for i := int64(0); i < cycles; i++ {
 		n.Step()
 	}
 }
 
 // RunUntil advances the network until done() reports true or the budget
-// of cycles is exhausted, checking every checkEvery cycles. It returns
-// whether done() fired.
+// of cycles is exhausted, checking every checkEvery cycles (values below
+// one are clamped to one — a non-positive interval must not spin the loop
+// forever without advancing). It returns whether done() fired.
 func (n *Network) RunUntil(budget, checkEvery int64, done func() bool) bool {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
 	for spent := int64(0); spent < budget; spent += checkEvery {
 		step := checkEvery
 		if rem := budget - spent; step > rem {
@@ -323,13 +411,14 @@ func (n *Network) RunUntil(budget, checkEvery int64, done func() bool) bool {
 }
 
 // Warmup runs the network with measurement disabled, then clears and
-// re-enables the collector. Experiments call this before their measured
-// window so statistics reflect steady state.
+// re-enables the collectors. Experiments call this before their measured
+// window so statistics reflect steady state. Safe on a network without
+// collectors (every CollectorSet method is nil-receiver-safe).
 func (n *Network) Warmup(cycles int64) {
-	n.Collector.Enabled = false
+	n.Collectors.SetEnabled(false)
 	n.Run(cycles)
-	n.Collector.Reset()
-	n.Collector.Enabled = true
+	n.Collectors.Reset()
+	n.Collectors.SetEnabled(true)
 }
 
 // ChannelRate returns the channel capacity in flits per internal cycle.
@@ -337,17 +426,32 @@ func (n *Network) ChannelRate() float64 {
 	return float64(n.Cfg.RateNum) / float64(n.Cfg.RateDen)
 }
 
+// Collector returns a merged snapshot of every endpoint's measurement
+// shard, folded in fixed shard order. Call it after (or between) runs;
+// the snapshot does not track later recording.
+func (n *Network) Collector() *endpoint.Collector {
+	return n.Collectors.Merged()
+}
+
 // NormalizedAccepted returns delivered data flits per node per cycle over
-// the measured window, normalized so 1.0 is full channel capacity.
+// the measured window, normalized so 1.0 is full channel capacity. A
+// non-positive window or an endpoint-less network yields 0, not NaN.
 func (n *Network) NormalizedAccepted(cycles int64) float64 {
-	per := float64(n.Collector.TotalDeliveredFlits()) / float64(cycles) / float64(len(n.Endpoints))
+	if cycles <= 0 || len(n.Endpoints) == 0 {
+		return 0
+	}
+	per := float64(n.Collectors.TotalDeliveredFlits()) / float64(cycles) / float64(len(n.Endpoints))
 	return per / n.ChannelRate()
 }
 
 // NormalizedOffered returns generated data flits per node per cycle over
-// the measured window, normalized to channel capacity.
+// the measured window, normalized to channel capacity. A non-positive
+// window or an endpoint-less network yields 0, not NaN.
 func (n *Network) NormalizedOffered(cycles int64) float64 {
-	per := float64(n.Collector.TotalOfferedFlits()) / float64(cycles) / float64(len(n.Endpoints))
+	if cycles <= 0 || len(n.Endpoints) == 0 {
+		return 0
+	}
+	per := float64(n.Collectors.TotalOfferedFlits()) / float64(cycles) / float64(len(n.Endpoints))
 	return per / n.ChannelRate()
 }
 
@@ -398,13 +502,10 @@ func (n *Network) Drain(budget int64) bool {
 	})
 }
 
-// FaultStats returns the injected-fault counts, or the zero value when no
-// fault plan is active.
+// FaultStats returns the injected-fault counts merged across the per-link
+// shards, or the zero value when no fault plan is active.
 func (n *Network) FaultStats() fault.Stats {
-	if n.Injector == nil {
-		return fault.Stats{}
-	}
-	return n.Injector.Stats
+	return n.Injector.Snapshot()
 }
 
 // Counters sums the per-switch counters.

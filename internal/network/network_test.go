@@ -38,7 +38,7 @@ func runUR(t *testing.T, mode core.StashMode, load float64, cycles int64) *Netwo
 
 func TestBaselineDeliversUniformTraffic(t *testing.T) {
 	n := runUR(t, core.StashOff, 0.2, 20000)
-	c := n.Collector
+	c := n.Collector()
 	if c.DeliveredPkts[proto.ClassDefault] == 0 {
 		t.Fatal("no packets delivered")
 	}
@@ -69,8 +69,8 @@ func TestE2EStashTracksOutstandingPackets(t *testing.T) {
 	}
 	// Tracked entries should be created for every delivered data packet
 	// (all injections come from end ports).
-	if cnt.E2ETracked < n.Collector.DeliveredPkts[proto.ClassDefault] {
-		t.Fatalf("tracked %d < delivered %d", cnt.E2ETracked, n.Collector.DeliveredPkts[proto.ClassDefault])
+	if cnt.E2ETracked < n.Collector().DeliveredPkts[proto.ClassDefault] {
+		t.Fatalf("tracked %d < delivered %d", cnt.E2ETracked, n.Collector().DeliveredPkts[proto.ClassDefault])
 	}
 }
 
@@ -117,10 +117,10 @@ func TestDeterminism(t *testing.T) {
 	if ca != cb {
 		t.Fatalf("counter divergence:\n%+v\n%+v", ca, cb)
 	}
-	if a.Collector.TotalDeliveredFlits() != b.Collector.TotalDeliveredFlits() {
+	if a.Collectors.TotalDeliveredFlits() != b.Collectors.TotalDeliveredFlits() {
 		t.Fatal("delivered flit divergence")
 	}
-	la, lb := a.Collector.LatAcc[proto.ClassDefault], b.Collector.LatAcc[proto.ClassDefault]
+	la, lb := a.Collector().LatAcc[proto.ClassDefault], b.Collector().LatAcc[proto.ClassDefault]
 	if la != lb {
 		t.Fatalf("latency divergence: %+v vs %+v", la, lb)
 	}

@@ -133,7 +133,7 @@ func TestObservabilityDisabledIdentical(t *testing.T) {
 		t.Fatalf("observability changed simulation outcome:\n%+v\n%+v",
 			plain.Counters(), observed.Counters())
 	}
-	if plain.Collector.TotalDeliveredFlits() != observed.Collector.TotalDeliveredFlits() {
+	if plain.Collectors.TotalDeliveredFlits() != observed.Collectors.TotalDeliveredFlits() {
 		t.Fatal("delivered flits diverged with observability attached")
 	}
 }

@@ -41,7 +41,7 @@ func TestPaperScaleConstruction(t *testing.T) {
 	// 4000 cycles ≈ 3 µs: enough for global-link round trips and first
 	// deliveries.
 	n.Run(4000)
-	if n.Collector.DeliveredPkts[proto.ClassDefault] == 0 {
+	if n.Collector().DeliveredPkts[proto.ClassDefault] == 0 {
 		t.Fatal("no deliveries at paper scale")
 	}
 	c := n.Counters()

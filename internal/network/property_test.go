@@ -53,10 +53,10 @@ func TestTopologyShapeSweep(t *testing.T) {
 			ep.Gen = nil
 		}
 		if !n.RunUntil(200000, 2000, func() bool {
-			return n.Collector.TotalDeliveredFlits() == n.Collector.TotalOfferedFlits()
+			return n.Collectors.TotalDeliveredFlits() == n.Collectors.TotalOfferedFlits()
 		}) {
 			t.Fatalf("shape %+v: delivered %d of %d after drain", sh,
-				n.Collector.TotalDeliveredFlits(), n.Collector.TotalOfferedFlits())
+				n.Collectors.TotalDeliveredFlits(), n.Collectors.TotalOfferedFlits())
 		}
 		if err := n.SanityCheck(); err != nil {
 			t.Fatalf("shape %+v: %v", sh, err)
@@ -92,11 +92,11 @@ func TestSeedSweepDeliveryAcrossSeeds(t *testing.T) {
 			ep.Gen = nil
 		}
 		if !n.RunUntil(200000, 2000, func() bool {
-			return n.Collector.TotalDeliveredFlits() == n.Collector.TotalOfferedFlits()
+			return n.Collectors.TotalDeliveredFlits() == n.Collectors.TotalOfferedFlits()
 		}) {
 			t.Fatalf("seed %d: not all flits delivered", seed)
 		}
-		delivered = append(delivered, n.Collector.TotalDeliveredFlits())
+		delivered = append(delivered, n.Collectors.TotalDeliveredFlits())
 	}
 	allSame := true
 	for _, d := range delivered[1:] {

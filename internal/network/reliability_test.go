@@ -50,7 +50,7 @@ func TestRetransmissionRecoversFromErrors(t *testing.T) {
 		t.Fatalf("network did not quiesce: stash=%d queued=%d counters=%+v",
 			n.TotalStashUsed(), n.TotalQueuedFlits(), c)
 	}
-	if n.Collector.Errors == 0 {
+	if n.Collector().Errors == 0 {
 		t.Fatal("no errors were injected")
 	}
 	if c.E2ERetransmits == 0 {
@@ -61,7 +61,7 @@ func TestRetransmissionRecoversFromErrors(t *testing.T) {
 	if c.E2EDeletes != c.E2ETracked {
 		t.Fatalf("tracked %d packets but deleted %d copies", c.E2ETracked, c.E2EDeletes)
 	}
-	t.Logf("errors=%d retransmits=%d tracked=%d", n.Collector.Errors, c.E2ERetransmits, c.E2ETracked)
+	t.Logf("errors=%d retransmits=%d tracked=%d", n.Collector().Errors, c.E2ERetransmits, c.E2ETracked)
 }
 
 // TestFlitConservation verifies no flits are created or lost: everything
@@ -88,10 +88,10 @@ func TestFlitConservation(t *testing.T) {
 			ep.Gen = nil
 		}
 		if !n.RunUntil(300000, 2000, func() bool {
-			return n.Collector.TotalDeliveredFlits() == n.Collector.TotalOfferedFlits()
+			return n.Collectors.TotalDeliveredFlits() == n.Collectors.TotalOfferedFlits()
 		}) {
 			t.Fatalf("mode %v: delivered %d of %d offered flits after drain",
-				mode, n.Collector.TotalDeliveredFlits(), n.Collector.TotalOfferedFlits())
+				mode, n.Collectors.TotalDeliveredFlits(), n.Collectors.TotalOfferedFlits())
 		}
 	}
 }
@@ -124,7 +124,7 @@ func TestAdversarialPermutationNoDeadlock(t *testing.T) {
 	last := int64(0)
 	for i := 0; i < 10; i++ {
 		n.Run(3000)
-		cur := n.Collector.TotalDeliveredFlits()
+		cur := n.Collectors.TotalDeliveredFlits()
 		if cur == last && i > 1 {
 			t.Fatalf("no progress in window %d: %s", i, n.Switches[0].DumpState())
 		}
@@ -156,7 +156,7 @@ func TestBankModelRuns(t *testing.T) {
 			0.5, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
 	}
 	n.Run(15000)
-	if n.Collector.TotalDeliveredFlits() == 0 {
+	if n.Collectors.TotalDeliveredFlits() == 0 {
 		t.Fatal("bank-modeled network delivered nothing")
 	}
 

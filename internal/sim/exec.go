@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
 // Stepper is a simulation component advanced once per cycle. Components may
 // communicate only through latency>=1 channels, which gives the parallel
@@ -16,16 +13,38 @@ type Stepper interface {
 // Executor drives a set of components through simulated cycles, either
 // serially (deterministic, lowest overhead on a single core) or with a fixed
 // worker pool partitioned over the components.
+//
+// Each cycle is bracketed by two barrier phases. The coordinator (the
+// goroutine calling Run) executes PreCycle, releases the workers into the
+// cycle at the first barrier, waits for them at the second, then executes
+// PostCycle. The hooks therefore always run serially, with every component
+// step of the cycle strictly between them — the place for per-cycle
+// singletons such as fault injection (pre) and samplers, watchdogs and
+// invariant audits (post). Both hooks are optional.
+//
+// Results are identical to serial execution for any worker count: each
+// component is pinned to one partition (so its private state is touched by
+// exactly one goroutine), the one-cycle-lookahead rule makes intra-cycle
+// step order irrelevant, and the barriers order every hook with respect to
+// every step.
 type Executor struct {
 	parts   [][]Stepper
 	barrier *Barrier
 	workers int
+
+	// PreCycle, when non-nil, runs serially before any component steps in
+	// a cycle. Set before the first Run.
+	PreCycle func(now Tick)
+	// PostCycle, when non-nil, runs serially after every component has
+	// stepped a cycle. Set before the first Run.
+	PostCycle func(now Tick)
 
 	// serial fast path
 	all []Stepper
 
 	mu      sync.Mutex
 	started bool
+	closed  bool
 	cmd     chan execCmd
 	done    chan struct{}
 }
@@ -36,11 +55,11 @@ type execCmd struct {
 
 // NewExecutor builds an executor over the given components. workers <= 1
 // selects the serial path; otherwise the components are partitioned
-// round-robin across min(workers, GOMAXPROCS) long-lived goroutines.
+// round-robin across min(workers, len(components)) long-lived goroutines.
+// Worker counts above GOMAXPROCS are honored (the spinning barrier yields
+// the processor, so oversubscribed workers still make progress); they buy
+// nothing but remain deterministic.
 func NewExecutor(components []Stepper, workers int) *Executor {
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(components) {
 		workers = len(components)
 	}
@@ -59,18 +78,26 @@ func NewExecutor(components []Stepper, workers int) *Executor {
 }
 
 // Run advances all components from cycle `from` (inclusive) to `to`
-// (exclusive). Within each cycle every component steps exactly once.
+// (exclusive). Within each cycle every component steps exactly once,
+// bracketed by the PreCycle and PostCycle hooks. After Close, Run falls
+// back to the serial path (same results, no worker pool).
 func (e *Executor) Run(from, to Tick) {
-	if e.workers <= 1 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.workers <= 1 || e.closed {
 		for now := from; now < to; now++ {
+			if e.PreCycle != nil {
+				e.PreCycle(now)
+			}
 			for _, c := range e.all {
 				c.Step(now)
+			}
+			if e.PostCycle != nil {
+				e.PostCycle(now)
 			}
 		}
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if !e.started {
 		e.started = true
 		for w := 0; w < e.workers; w++ {
@@ -81,7 +108,14 @@ func (e *Executor) Run(from, to Tick) {
 		e.cmd <- execCmd{from, to}
 	}
 	for now := from; now < to; now++ {
-		e.barrier.Wait()
+		if e.PreCycle != nil {
+			e.PreCycle(now)
+		}
+		e.barrier.Wait() // release workers into cycle `now`
+		e.barrier.Wait() // every component has stepped `now`
+		if e.PostCycle != nil {
+			e.PostCycle(now)
+		}
 	}
 	for w := 0; w < e.workers; w++ {
 		<-e.done
@@ -91,24 +125,29 @@ func (e *Executor) Run(from, to Tick) {
 func (e *Executor) worker(mine []Stepper) {
 	for cmd := range e.cmd {
 		for now := cmd.from; now < cmd.to; now++ {
+			e.barrier.Wait() // wait for the coordinator's PreCycle
 			for _, c := range mine {
 				c.Step(now)
 			}
-			e.barrier.Wait()
+			e.barrier.Wait() // publish this cycle's writes
 		}
 		e.done <- struct{}{}
 	}
 }
 
-// Close shuts down the worker goroutines. The executor must not be used
-// after Close.
+// Close shuts down the worker goroutines. Calling Run after Close is safe:
+// it executes serially with identical results. Close is idempotent.
 func (e *Executor) Close() {
-	if e.cmd != nil {
-		e.mu.Lock()
+	if e.cmd == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
 		if e.started {
 			close(e.cmd)
 			e.started = false
 		}
-		e.mu.Unlock()
 	}
 }

@@ -1,0 +1,46 @@
+package sim
+
+import "sync"
+
+// ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of
+// `workers` goroutines and returns when all calls have finished. With
+// workers <= 1 it degrades to a plain loop on the calling goroutine.
+//
+// It is the sweep-level counterpart of Executor: the harness fans
+// independent design points (each owning its config, network, RNG and
+// collector) over it. Callers must keep results deterministic by writing
+// fn's output to an index-addressed slot (results[i] = ...) and assembling
+// output in index order after ParallelFor returns — never in completion
+// order. It lives in internal/sim so the stashlint determinism analyzer's
+// rule that simulation packages spawn no goroutines of their own stays
+// machine-checkable.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

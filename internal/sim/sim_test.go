@@ -176,6 +176,82 @@ func (a *atomicStepper) Step(now Tick) {
 	}
 }
 
+type tallyStepper struct {
+	total *atomic.Int64
+}
+
+func (s *tallyStepper) Step(now Tick) { s.total.Add(1) }
+
+// TestExecutorHookOrdering verifies the two-phase barrier contract: within
+// every cycle, PreCycle runs strictly before any component step and
+// PostCycle strictly after all of them, for both execution modes.
+func TestExecutorHookOrdering(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const comps, cycles = 8, 40
+		var total atomic.Int64
+		steppers := make([]Stepper, comps)
+		for i := range steppers {
+			steppers[i] = &tallyStepper{total: &total}
+		}
+		e := NewExecutor(steppers, workers)
+		var bad atomic.Int64
+		e.PreCycle = func(now Tick) {
+			// Entering cycle `now`, exactly now*comps steps have happened.
+			if total.Load() != int64(now)*comps {
+				bad.Add(1)
+			}
+		}
+		e.PostCycle = func(now Tick) {
+			// Leaving cycle `now`, its comps steps are all complete.
+			if total.Load() != int64(now+1)*comps {
+				bad.Add(1)
+			}
+		}
+		e.Run(0, cycles)
+		e.Close()
+		if bad.Load() != 0 {
+			t.Fatalf("workers=%d: %d hook-ordering violations", workers, bad.Load())
+		}
+		if total.Load() != comps*cycles {
+			t.Fatalf("workers=%d: %d total steps, want %d", workers, total.Load(), comps*cycles)
+		}
+	}
+}
+
+// TestExecutorRunAfterClose exercises the documented fallback: a closed
+// executor still runs, serially, with identical step counts.
+func TestExecutorRunAfterClose(t *testing.T) {
+	var total atomic.Int64
+	steppers := make([]Stepper, 6)
+	for i := range steppers {
+		steppers[i] = &tallyStepper{total: &total}
+	}
+	e := NewExecutor(steppers, 3)
+	e.Run(0, 10)
+	e.Close()
+	e.Close() // idempotent
+	e.Run(10, 20)
+	if got := total.Load(); got != 6*20 {
+		t.Fatalf("%d steps after close-and-run, want %d", got, 6*20)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		const n = 57
+		results := make([]int, n)
+		ParallelFor(workers, n, func(i int) { results[i] = i * i })
+		for i, v := range results {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// Degenerate sizes must not hang or panic.
+	ParallelFor(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ParallelFor(4, -3, func(int) { t.Fatal("fn called for n<0") })
+}
+
 func TestExecutorParallelCycleBoundary(t *testing.T) {
 	// Every component must observe the same cycle value; the shared
 	// atomic is advanced by a dedicated clock component stepped first in

@@ -200,6 +200,24 @@ func (t *TimeSeries) Add(now int64, v float64) {
 // Bins returns the accumulated bins.
 func (t *TimeSeries) Bins() []Acc { return t.bins }
 
+// Merge folds another time series into t. Both series must share the same
+// bin width; the result is as if every observation of o had been added to
+// t directly.
+func (t *TimeSeries) Merge(o *TimeSeries) {
+	if o == nil {
+		return
+	}
+	if o.BinWidth != t.BinWidth {
+		panic(fmt.Sprintf("stats: merging time series with bin widths %d and %d", t.BinWidth, o.BinWidth))
+	}
+	for len(t.bins) < len(o.bins) {
+		t.bins = append(t.bins, Acc{})
+	}
+	for i, b := range o.bins {
+		t.bins[i].Merge(b)
+	}
+}
+
 // Means returns (binStartTime, mean) pairs for every non-empty bin.
 func (t *TimeSeries) Means() ([]int64, []float64) {
 	var ts []int64
