@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fault-smoke par-smoke bench figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke par-smoke bench bench-all figures figures-paper examples clean
 
 all: build vet lint test race fault-smoke par-smoke
 
@@ -48,9 +48,19 @@ par-smoke:
 	$(GO) test -race -count=1 -run 'TestParallelStepRace|TestParallelMatchesSerial' ./internal/network
 	$(GO) test -count=1 -run 'TestWorkersDeterminism' ./cmd/stashsim
 
-# Reduced-scale benchmark harness: one benchmark per table/figure plus the
-# ablations. Full datasets come from `make figures`.
+# Hot-path benchmark grid: the parallel-executor scaling matrix and the
+# per-cycle steady-state cost, converted to BENCH_hotpath.json (the
+# committed perf-trajectory snapshot; regenerate and commit after any
+# intentional hot-path change). Raw text goes to stderr for benchstat use.
+# This host's clock is noisy (+/-30%); for before/after comparisons build
+# both binaries and interleave runs rather than trusting two single shots.
 bench:
+	$(GO) test -bench 'BenchmarkParallelExecutor|BenchmarkHotPathSteadyState' \
+		-benchmem -count=1 . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+
+# Full reduced-scale benchmark harness: one benchmark per table/figure plus
+# the ablations. Full datasets come from `make figures`.
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 # Regenerate every table and figure on the scaled (342-endpoint) network.

@@ -309,36 +309,88 @@ func BenchmarkParallelExecutor(b *testing.B) {
 		{"sw=1056", 2, 32, 1},
 	}
 	for _, tp := range topos {
-		for _, workers := range []int{1, 2, 4} {
-			b.Run(fmt.Sprintf("%s/workers=%d", tp.name, workers), func(b *testing.B) {
-				cfg := core.PaperConfig()
-				cfg.Topo = topo.Dragonfly{P: tp.p, A: tp.a, H: tp.h}
-				radix := cfg.Topo.Radix()
-				cfg.Rows, cfg.Cols = 4, 4
-				cfg.TileIn, cfg.TileOut = (radix+3)/4, (radix+3)/4
-				cfg.Mode = core.StashE2E
-				n, err := network.New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if workers > 1 {
-					n.SetWorkers(workers)
-					defer n.Close()
-				}
-				rng := sim.NewRNG(3)
-				for _, ep := range n.Endpoints {
-					ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
-						0.3, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
-				}
-				n.Run(200) // settle into steady state before timing
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					n.Run(100)
-				}
-				b.ReportMetric(float64(len(n.Switches))*100, "switch-cycles/op")
-			})
+		for _, load := range []float64{0.1, 0.3} {
+			for _, workers := range []int{1, 2, 4} {
+				b.Run(fmt.Sprintf("%s/load=%.0f%%/workers=%d", tp.name, load*100, workers), func(b *testing.B) {
+					cfg := core.PaperConfig()
+					cfg.Topo = topo.Dragonfly{P: tp.p, A: tp.a, H: tp.h}
+					radix := cfg.Topo.Radix()
+					cfg.Rows, cfg.Cols = 4, 4
+					cfg.TileIn, cfg.TileOut = (radix+3)/4, (radix+3)/4
+					cfg.Mode = core.StashE2E
+					n, err := network.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if workers > 1 {
+						n.SetWorkers(workers)
+						defer n.Close()
+					}
+					rng := sim.NewRNG(3)
+					for _, ep := range n.Endpoints {
+						ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+							load, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+					}
+					n.Run(200) // settle into steady state before timing
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						n.Run(100)
+					}
+					b.ReportMetric(float64(len(n.Switches))*100, "switch-cycles/op")
+				})
+			}
 		}
 	}
+}
+
+// BenchmarkHotPathSteadyState is the per-cycle cost of Network.Step on the
+// tiny network in steady state. The "loaded" variants keep the generators
+// attached (the honest per-cycle figure, injection included); the "inflight"
+// variant detaches them with traffic still circulating, which is the
+// configuration the zero-allocation guard measures. allocs/op must read 0
+// for all variants: the freelists recycle every per-packet structure, so a
+// steady-state cycle touches no allocator at any load.
+func BenchmarkHotPathSteadyState(b *testing.B) {
+	build := func(b *testing.B, load float64) *network.Network {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := sim.NewRNG(11)
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				load, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		n.Run(20000) // steady state: pools, rings, and freelists at high water
+		return n
+	}
+	for _, load := range []float64{0.1, 0.3} {
+		b.Run(fmt.Sprintf("loaded/load=%.0f%%", load*100), func(b *testing.B) {
+			n := build(b, load)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+			b.ReportMetric(float64(len(n.Switches)), "switch-cycles/op")
+		})
+	}
+	b.Run("inflight", func(b *testing.B) {
+		n := build(b, 0.3)
+		for _, ep := range n.Endpoints {
+			ep.Gen = nil
+		}
+		n.Run(50)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Step()
+		}
+		b.ReportMetric(float64(len(n.Switches)), "switch-cycles/op")
+	})
 }
 
 // TestMetricsDisabledAllocFree is the hard form of the benchmark guard: a

@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, one entry per benchmark result line with every
+// reported metric (ns/op, B/op, allocs/op, custom ReportMetric units). The
+// Makefile bench target pipes the hot-path grid through it to produce
+// BENCH_hotpath.json, the committed perf-trajectory snapshot; the text
+// stream itself stays benchstat-compatible, so keep raw logs when
+// comparing runs statistically.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: Iters runs of Name, with Metrics holding
+// each "value unit" pair from the line (e.g. "ns/op", "allocs/op").
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document. Goos/Goarch/Pkg echo the bench header so a
+// committed snapshot records where it was measured.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	doc := Doc{Benchmarks: []Result{}}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(line[len("goos:"):])
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(line[len("goarch:"):])
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(line[len("pkg:"):])
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(line[len("cpu:"):])
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine splits "BenchmarkName-8  123  456 ns/op  0 B/op ..." into a
+// Result. Lines that do not parse (e.g. a benchmark that printed output)
+// are skipped rather than fatal: the converter must survive noisy logs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iters: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

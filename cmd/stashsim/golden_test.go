@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSpecs is the committed-results matrix: both cheap presets across the
+// three behaviour regimes (plain stashing, fault injection with the recovery
+// ladder, and ECN congestion control). Every spec pins its seed, so the
+// expected output is a function of the code alone; perf refactors that shift
+// any simulation outcome fail TestGoldenResults before they reach a figure.
+var goldenSpecs = []struct {
+	name string
+	spec simSpec
+}{
+	{"tiny-baseline", simSpec{
+		Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.35, MsgPkts: 1,
+		Cycles: 4000, Warmup: 500, Seed: 42,
+		Invariants: true, InvariantsEvery: 64,
+	}},
+	{"tiny-fault", simSpec{
+		Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.25, MsgPkts: 1,
+		Cycles: 4000, Warmup: 500, Seed: 13,
+		DropRate: 2e-3, CorruptRate: 1e-3, FaultSeed: 5,
+		Drain:      400000,
+		Invariants: true, InvariantsEvery: 64,
+	}},
+	{"tiny-ecn", simSpec{
+		Preset: "tiny", Mode: "congestion", CapFrac: 1.0,
+		Load: 0.4, MsgPkts: 2, Hotspots: 2, ECN: true,
+		Cycles: 4000, Warmup: 500, Seed: 8,
+	}},
+	{"small-baseline", simSpec{
+		Preset: "small", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.3, MsgPkts: 1,
+		Cycles: 1500, Warmup: 300, Seed: 42,
+	}},
+	{"small-fault", simSpec{
+		Preset: "small", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.2, MsgPkts: 1,
+		Cycles: 1500, Warmup: 300, Seed: 13,
+		DropRate: 2e-3, FaultSeed: 5,
+		Drain: 400000,
+	}},
+	{"small-ecn", simSpec{
+		Preset: "small", Mode: "congestion", CapFrac: 1.0,
+		Load: 0.3, MsgPkts: 2, Hotspots: 2, ECN: true,
+		Cycles: 1500, Warmup: 300, Seed: 8,
+	}},
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenResults byte-compares each spec's -json summary against the
+// committed file under testdata/golden/. Run with UPDATE_GOLDEN=1 to
+// regenerate after an intentional behaviour change; the diff then documents
+// the change in review.
+func TestGoldenResults(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, g := range goldenSpecs {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			got := append(runJSON(t, g.spec), '\n')
+			path := goldenPath(g.name)
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with UPDATE_GOLDEN=1 go test -run TestGoldenResults ./cmd/stashsim): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("summary diverged from %s\n(if intentional, regenerate with UPDATE_GOLDEN=1)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

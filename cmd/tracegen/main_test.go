@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stashsim/internal/core"
+	"stashsim/internal/network"
+	"stashsim/internal/trace"
+	"stashsim/internal/tracegen"
+)
+
+// testScale shrinks every application far below paper scale so all six
+// generate, round-trip, and replay in a few seconds of wall clock.
+var testScale = tracegen.Scale{Ranks: 24, Bytes: 0.02, Iters: 0.25}
+
+// TestAppsGenerateAndRoundTrip pins the generator output for every
+// Table II application to the trace text format: each trace validates,
+// serializes, and parses back identical.
+func TestAppsGenerateAndRoundTrip(t *testing.T) {
+	for _, app := range tracegen.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			tr := app.Generate(testScale)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("generated trace invalid: %v", err)
+			}
+			if tr.TotalMessages() == 0 {
+				t.Fatalf("%s generated no messages at %+v", app.Name, testScale)
+			}
+			if tr.TotalBytes() <= 0 {
+				t.Fatalf("%s generated %d payload bytes", app.Name, tr.TotalBytes())
+			}
+			var buf bytes.Buffer
+			if err := tr.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := trace.Read(&buf)
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if tr2.Name != tr.Name || tr2.Ranks != tr.Ranks || !reflect.DeepEqual(tr2.Events, tr.Events) {
+				t.Fatalf("write/read round trip diverged for %s", app.Name)
+			}
+		})
+	}
+}
+
+// TestAppsReplayDeliverEverything replays each scaled-down application on
+// the tiny network and checks full delivery: every rank retires its event
+// list and no message remains outstanding.
+func TestAppsReplayDeliverEverything(t *testing.T) {
+	for _, app := range tracegen.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			tr := app.Generate(testScale)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			n, err := network.New(core.TinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := trace.NewReplay(tr, n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles, err := r.Run(5_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Done() {
+				t.Fatalf("replay of %s not done after %d cycles", app.Name, cycles)
+			}
+			var delivered int64
+			for _, ep := range n.Endpoints {
+				delivered += ep.DeliveredUnique
+			}
+			want := int64(0)
+			for _, evs := range tr.Events {
+				for _, ev := range evs {
+					if ev.Kind == trace.Send {
+						want++
+					}
+				}
+			}
+			if delivered < want {
+				t.Fatalf("%s: %d packets delivered, want at least %d messages' worth",
+					app.Name, delivered, want)
+			}
+			t.Logf("%s: %d msgs, %d packets delivered in %d cycles",
+				app.Name, tr.TotalMessages(), delivered, cycles)
+		})
+	}
+}

@@ -326,16 +326,24 @@ func TestStashPoolRetainAndRetransmit(t *testing.T) {
 	p.Reserve(2)
 	p.PutCopy(proto.Flit{PktID: 5, Size: 2, Seq: 0, Flags: proto.FlagStashCopy})
 	p.PutCopy(proto.Flit{PktID: 5, Size: 2, Seq: 1, Flags: proto.FlagStashCopy})
-	fl, ok := p.TakeCopy(5)
-	if !ok || len(fl) != 2 {
-		t.Fatalf("TakeCopy: %v %v", fl, ok)
+	b, ok := p.TakeCopy(5)
+	if !ok || len(b.Flits) != 2 {
+		t.Fatalf("TakeCopy: %v %v", b, ok)
 	}
-	// Space stays committed; re-queue for retransmission.
+	if b.Refs() != 2 {
+		t.Fatalf("refs %d after TakeCopy, want 2 (store + caller)", b.Refs())
+	}
+	// Space stays committed; re-queue for retransmission by value.
 	used := p.Used()
-	for _, f := range fl {
+	for _, f := range b.Flits {
 		p.PushRetr(f)
 	}
-	for range fl {
+	n := len(b.Flits)
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("refs %d after Release, want 1 (store)", b.Refs())
+	}
+	for i := 0; i < n; i++ {
 		f := p.RetrPop()
 		if f.Flags&proto.FlagStashCopy != 0 {
 			t.Fatal("retransmit flit kept stash-copy flag")

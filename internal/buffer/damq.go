@@ -195,3 +195,11 @@ func (c *CreditCounter) Return(cr proto.Credit) {
 		c.resvFree[cr.VC]++
 	}
 }
+
+// ReturnN replenishes n reserved credits for vc at once — the bulk form
+// behind per-cycle credit batching. Equivalent to n Return calls because
+// replenishment is a plain commutative increment.
+func (c *CreditCounter) ReturnN(vc, n int) { c.resvFree[vc] += n }
+
+// ReturnShared replenishes n shared-pool credits at once.
+func (c *CreditCounter) ReturnShared(n int) { c.shared += n }

@@ -39,6 +39,11 @@ func (b *OutBuf) Used() int { return b.queued + b.inflight.Len() }
 // Queued returns the number of flits awaiting transmission.
 func (b *OutBuf) Queued() int { return b.queued }
 
+// Retained returns the number of sent flits still inside the link-level
+// retention window. An output port with no queued and no retained flits
+// has nothing to do until new flits or credits arrive.
+func (b *OutBuf) Retained() int { return b.inflight.Len() }
+
 // Free returns the number of flits that can currently be accepted.
 func (b *OutBuf) Free() int { return b.capacity - b.Used() }
 
@@ -82,4 +87,11 @@ func (b *OutBuf) Release(now int64) {
 			return
 		}
 	}
+}
+
+// ReleaseDue reports whether Release(now) would free anything: the
+// active-set probe that lets an otherwise idle output port skip its step
+// while retention deadlines are still in the future.
+func (b *OutBuf) ReleaseDue(now int64) bool {
+	return b.inflight.FrontDue(now)
 }

@@ -21,11 +21,16 @@ type StashPool struct {
 	// End-to-end reliability bookkeeping: arrived flit counts per stashed
 	// packet. Payload flits are discarded on arrival (the copy is never
 	// forwarded) unless retainPayload is set for the retransmission
-	// extension, in which case complete packets are kept in store.
+	// extension, in which case complete packets are kept in store. Retained
+	// payloads live in ref-counted buffers drawn from bufs, the pool's
+	// deterministic freelist: the store entry owns one reference, each
+	// retransmission takes a transient one, and the buffer recycles when
+	// the last drops — so steady-state retention churn allocates nothing.
 	arrived       map[uint64]uint8
-	store         map[uint64][]proto.Flit
-	partial       map[uint64][]proto.Flit
+	store         map[uint64]*proto.PktBuf
+	partial       map[uint64]*proto.PktBuf
 	retainPayload bool
+	bufs          proto.BufPool
 
 	// copies records the size of every live completed end-to-end copy,
 	// maintained whether or not the payload is retained. It makes Delete
@@ -111,16 +116,21 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 	p.used++
 	if p.retainPayload {
 		if p.partial == nil {
-			p.partial = make(map[uint64][]proto.Flit)
+			p.partial = make(map[uint64]*proto.PktBuf)
 		}
-		p.partial[f.PktID] = append(p.partial[f.PktID], f)
+		b := p.partial[f.PktID]
+		if b == nil {
+			b = p.bufs.Get()
+			p.partial[f.PktID] = b
+		}
+		b.Flits = append(b.Flits, f)
 	}
 	n := p.arrived[f.PktID] + 1
 	if n == f.Size {
 		delete(p.arrived, f.PktID)
 		if p.retainPayload {
 			if p.store == nil {
-				p.store = make(map[uint64][]proto.Flit)
+				p.store = make(map[uint64]*proto.PktBuf)
 			}
 			p.store[f.PktID] = p.partial[f.PktID]
 			delete(p.partial, f.PktID)
@@ -150,7 +160,10 @@ func (p *StashPool) Delete(pktID uint64, size int) {
 		panic("buffer: stash pool delete underflow")
 	}
 	if p.retainPayload {
-		delete(p.store, pktID)
+		if b := p.store[pktID]; b != nil {
+			delete(p.store, pktID)
+			b.Release()
+		}
 	}
 }
 
@@ -177,9 +190,6 @@ func (p *StashPool) FailBank() []uint64 {
 		p.freed += int64(size)
 	}
 	clear(p.copies)
-	if p.retainPayload {
-		clear(p.store)
-	}
 	//lint:allow determinism -- map-key collection, sorted before use
 	for id, n := range p.arrived {
 		lost = append(lost, id)
@@ -189,31 +199,61 @@ func (p *StashPool) FailBank() []uint64 {
 			p.dead = make(map[uint64]uint8)
 		}
 		p.dead[id] = n
-		if p.retainPayload {
-			delete(p.partial, id)
-		}
 	}
 	clear(p.arrived)
 	if p.used < 0 {
 		panic("buffer: stash pool bank-failure underflow")
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	if p.retainPayload {
+		// Release the retained buffers in sorted id order so the freelist
+		// reuses them in a deterministic sequence.
+		for _, id := range lost {
+			if b := p.store[id]; b != nil {
+				delete(p.store, id)
+				b.Release()
+			}
+			if b := p.partial[id]; b != nil {
+				delete(p.partial, id)
+				b.Release()
+			}
+		}
+	}
 	return lost
 }
 
-// TakeCopy removes and returns a retained stash copy for retransmission
-// (error-injection extension). The space remains committed until the
-// retransmitted packet is itself acknowledged and deleted; the returned
-// flits are a fresh copy for injection into the retrieval VC.
-func (p *StashPool) TakeCopy(pktID uint64) ([]proto.Flit, bool) {
-	fl, ok := p.store[pktID]
+// TakeCopy returns the retained stash copy of a packet for retransmission
+// (error-injection extension), with one reference taken for the caller.
+// The store entry keeps its own reference (the space remains committed
+// until the retransmitted packet is acknowledged and deleted); the caller
+// reads the flits out by value and must Release the buffer when done —
+// no per-retransmission payload copy is ever allocated.
+func (p *StashPool) TakeCopy(pktID uint64) (*proto.PktBuf, bool) {
+	b, ok := p.store[pktID]
 	if !ok {
 		return nil, false
 	}
-	out := make([]proto.Flit, len(fl))
-	copy(out, fl)
-	return out, true
+	b.Retain()
+	return b, true
 }
+
+// AuditRetained calls fn for every retained payload buffer (completed store
+// entries and still-filling partials). Invariant-checker use only, under
+// the same quiescence rule as the link audits; visit order is unspecified,
+// which is acceptable because the checker inspects every entry regardless.
+func (p *StashPool) AuditRetained(fn func(pktID uint64, b *proto.PktBuf)) {
+	//lint:allow determinism -- audit-only traversal, order-insensitive
+	for id, b := range p.store {
+		fn(id, b)
+	}
+	//lint:allow determinism -- audit-only traversal, order-insensitive
+	for id, b := range p.partial {
+		fn(id, b)
+	}
+}
+
+// RetainedBufs returns how many payload buffers the pool currently holds.
+func (p *StashPool) RetainedBufs() int { return len(p.store) + len(p.partial) }
 
 // PutCongested stores one flit of a congestion-stashed packet. The packet
 // becomes retrievable in FIFO order.

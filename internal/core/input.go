@@ -12,17 +12,19 @@ func (s *Switch) tileAt(row, col int) *tile {
 	return &s.tiles[row*s.cfg.Cols+col]
 }
 
-// push enqueues a flit into a tile's row buffer for the given input slot
-// and stream. Row buffers are indexed by the *arrival* stream (the VC the
-// packet occupied in the input buffer, or the S/R internal streams), never
-// by the outgoing VC: two packets from one input port on different arrival
-// VCs may share an outgoing VC (an ejecting packet keeps its arrival VC
-// while a transit packet is upgraded), and indexing by outgoing VC would
-// interleave them in one FIFO and corrupt the wormhole.
-func (t *tile) push(f proto.Flit, slot, stream int) {
+// pushTile enqueues a flit into a tile's row buffer for the given input
+// slot and stream, marking the tile in the switch's active-set mask. Row
+// buffers are indexed by the *arrival* stream (the VC the packet occupied
+// in the input buffer, or the S/R internal streams), never by the outgoing
+// VC: two packets from one input port on different arrival VCs may share an
+// outgoing VC (an ejecting packet keeps its arrival VC while a transit
+// packet is upgraded), and indexing by outgoing VC would interleave them in
+// one FIFO and corrupt the wormhole.
+func (s *Switch) pushTile(t *tile, f proto.Flit, slot, stream int) {
 	t.rowBufs[slot][stream].Push(f)
 	t.slotOcc[slot] |= 1 << uint(stream)
 	t.occupied++
+	s.tileOcc |= 1 << uint(t.row*s.cfg.Cols+t.col)
 }
 
 // rowBufSpace reports whether the row buffer at (row, col, slot, stream)
@@ -205,7 +207,7 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 		}
 		f.VC = proto.VCRetrieve
 		f.Out = f.OrigOut
-		s.tileAt(row, cfg.ColOf(int(f.Out))).push(f, slot, proto.VCRetrieve)
+		s.pushTile(s.tileAt(row, cfg.ColOf(int(f.Out))), f, slot, proto.VCRetrieve)
 		return
 	}
 	if !p.mem.Request(now, buffer.ReadNormal) {
@@ -243,12 +245,12 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 		f.RestoreVC = lt.vc
 		f.Out = 0xFF // decided by JSQ at the tile
 		f.VC = proto.VCStore
-		s.tileAt(row, int(lt.stashCol)).push(f, slot, proto.VCStore)
+		s.pushTile(s.tileAt(row, int(lt.stashCol)), f, slot, proto.VCStore)
 	} else {
 		nf := f
 		nf.Out = lt.out
 		nf.VC = lt.vc
-		s.tileAt(row, cfg.ColOf(int(lt.out))).push(nf, slot, vc)
+		s.pushTile(s.tileAt(row, cfg.ColOf(int(lt.out))), nf, slot, vc)
 		if lt.stashCol >= 0 {
 			// Multi-drop broadcast: the stash copy rides the same bus
 			// cycle into a second tile's storage VC.
@@ -257,9 +259,11 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 			cp.Out = 0xFF
 			cp.VC = proto.VCStore
 			s.created++
-			s.tileAt(row, int(lt.stashCol)).push(cp, slot, proto.VCStore)
+			s.pushTile(s.tileAt(row, int(lt.stashCol)), cp, slot, proto.VCStore)
 			if f.Head() {
-				e := &e2eEntry{size: f.Size, stashPort: -1}
+				e := s.newEntry()
+				e.size = f.Size
+				e.stashPort = -1
 				if cfg.Retrans.Enabled {
 					e.deadline = now + cfg.Retrans.SwitchTimeout
 					s.retryQ = append(s.retryQ, retryRec{

@@ -28,6 +28,9 @@ import (
 //  4. S/R confinement: the storage and retrieval VCs are switch-internal;
 //     no flit on any link carries one, and a switch without stash
 //     capacity has no occupied S/R column streams.
+//  5. Stash liveness: every payload buffer a stash bank references is
+//     still alive — a bank holding a buffer that has been returned to
+//     the freelist would serve recycled (corrupt) flits on retrieval.
 //
 // The laws are state-based, so sparse audits (Every > 1) still converge
 // on any corruption the next time they run. On the first violation the
@@ -82,6 +85,7 @@ func (iv *Invariants) Check(now sim.Tick) {
 	iv.checkConservation(now)
 	iv.checkCredits(now)
 	iv.checkStash(now)
+	iv.checkStashRefs(now)
 }
 
 // checkConservation enforces laws 1 and the link half of law 4.
@@ -202,6 +206,30 @@ func (iv *Invariants) checkStash(now sim.Tick) {
 			if s.out[p].colMask&mask != 0 {
 				iv.fail(now, s, fmt.Sprintf(
 					"S/R confinement: sw%d port %d has S/R column flits with no stash", s.ID, p))
+			}
+		}
+	}
+}
+
+// checkStashRefs enforces law 5: no stash bank references a freed payload
+// buffer. The reference-counted freelists make use-after-free silent — a
+// recycled buffer holds a different packet's flits, so a stale bank entry
+// would retransmit garbage with a valid-looking checksum. Catch it here,
+// while the dangling reference still names the guilty pool.
+func (iv *Invariants) checkStashRefs(now sim.Tick) {
+	for _, s := range iv.Switches {
+		for p, pool := range s.stash {
+			bad := uint64(0)
+			dead := false
+			pool.AuditRetained(func(pktID uint64, b *proto.PktBuf) {
+				if b != nil && b.Freed() && (!dead || pktID < bad) {
+					bad, dead = pktID, true
+				}
+			})
+			if dead {
+				iv.fail(now, s, fmt.Sprintf(
+					"stash liveness: sw%d port %d bank references freed buffer for pkt %#x",
+					s.ID, p, bad))
 			}
 		}
 	}

@@ -22,9 +22,11 @@ import (
 // cycle, so the link is race-free without locks. An entry pushed at t is
 // folded at t+1 and due at t+Latency >= t+1, so the fold is never late —
 // provided the owner touches the link every cycle, which every switch and
-// endpoint step does unconditionally (stepArrivals, stepOutput, stepRecv,
-// stepInject). Sparse direct use (unit tests) instead merges both slots by
-// arrival time, which equals push order because Latency is constant.
+// endpoint step does unconditionally: the active-set idle probes
+// (FlitPending, CreditPending) fold the inbox even when the rest of the
+// port's work is skipped. Sparse direct use (unit tests) instead merges
+// both slots by arrival time, which equals push order because Latency is
+// constant.
 type Link struct {
 	Latency int64
 
@@ -44,17 +46,36 @@ type Link struct {
 
 	// Reverse path: the forward-consumer appends to credIn[now&1]
 	// (SendCredit); the forward-producer folds into credits and pops
-	// (RecvCredit). synth carries the credits synthesized for faulted
-	// drops — pushed and popped by the forward-producer alone, so it
-	// needs no inbox.
+	// (RecvCredit / RecvCreditsInto). Credits are carried as per-cycle
+	// batches — SendCredit coalesces every credit returned during one
+	// cycle into one entry of per-VC and shared counts — so a cycle costs
+	// one ring slot however many credits it returns, and the receiving
+	// side replenishes its counter with a handful of integer adds. synth
+	// carries the credits synthesized for faulted drops — pushed and
+	// popped by the forward-producer alone, so it needs no inbox.
 	credits     timedCreditRing
-	credIn      [2][]timedCredit
+	credIn      [2][]creditBatch
 	credDrained int64
 	synth       timedCreditRing
 
 	// faultDropped counts flits destroyed on this link by injected
 	// faults, the per-edge destruction term of the conservation law.
 	faultDropped int64
+
+	// Wake boards let a consumer switch skip idle links entirely instead
+	// of probing each one every cycle. A producer push at cycle t raises
+	// the port's flag in slab t&1 of the consumer's board; the consumer
+	// scans and clears slab (t+1)&1 at cycle t — the slab producers are
+	// *not* writing this cycle — so the flags are race-free by the same
+	// parity argument as the inboxes, and pending-ness for a whole switch
+	// collapses into one consumer-owned cache line. Boards are wired by
+	// AttachInLink (flit side) and AttachOutLink (credit side); links used
+	// outside a switch (endpoint-consumed sides, unit tests) leave them
+	// nil and keep the probe-every-cycle discipline.
+	flitWake *[2][64]bool
+	flitPort uint8
+	credWake *[2][64]bool
+	credPort uint8
 }
 
 // NewLink builds a link with the given one-way latency in cycles.
@@ -76,15 +97,15 @@ func (l *Link) SendFlit(now int64, f proto.Flit) {
 	if l.Fault != nil && l.Fault.OnFlit(now, &f) {
 		l.faultDropped++
 		if l.Credited {
-			l.synth.push(timedCredit{
-				at: now + 2*l.Latency,
-				c:  proto.Credit{VC: f.VC, Shared: f.Flags&proto.FlagShared != 0},
-			})
+			l.synth.add(now+2*l.Latency, proto.Credit{VC: f.VC, Shared: f.Flags&proto.FlagShared != 0})
 		}
 		return
 	}
 	s := now & 1
 	l.flitIn[s] = append(l.flitIn[s], buffer.TimedFlit{At: now + l.Latency, Flit: f})
+	if l.flitWake != nil {
+		l.flitWake[s][l.flitPort] = true
+	}
 }
 
 // drainFlits folds arrived inbox entries into the consumer's ring, once
@@ -146,13 +167,79 @@ func (l *Link) drainCredits(now int64) {
 	l.credDrained = now
 }
 
+// foldFlits is the inline fast path of the once-per-cycle inbox fold: when
+// the owner touched the link last cycle and nothing arrived since, it
+// reduces to one flag store with no call. Every other case — entries to
+// fold, a repeated touch this cycle, or a sparse gap — falls through to
+// drainFlits, which handles them all.
+func (l *Link) foldFlits(now int64) {
+	if now != l.flitDrained+1 || len(l.flitIn[(now&1)^1]) != 0 {
+		l.drainFlits(now)
+		return
+	}
+	l.flitDrained = now
+}
+
+// foldCredits is foldFlits for the reverse path.
+func (l *Link) foldCredits(now int64) {
+	if now != l.credDrained+1 || len(l.credIn[(now&1)^1]) != 0 {
+		l.drainCredits(now)
+		return
+	}
+	l.credDrained = now
+}
+
+// foldWakeFlits folds the foldable parity slot, tolerating arbitrarily
+// many skipped owner cycles. It is safe only for wake-gated owners: every
+// producer push raises the port's wake flag for the following cycle, so a
+// cycle the owner skipped provably had nothing to fold, and the opposite
+// slot — the one producers may be appending to right now — is never read.
+func (l *Link) foldWakeFlits(now int64) {
+	prev := (now + 1) & 1
+	if len(l.flitIn[prev]) != 0 {
+		for i := range l.flitIn[prev] {
+			l.flits.Push(l.flitIn[prev][i])
+		}
+		l.flitIn[prev] = l.flitIn[prev][:0]
+	}
+	l.flitDrained = now
+}
+
+// foldWakeCredits is foldWakeFlits for the reverse path.
+func (l *Link) foldWakeCredits(now int64) {
+	prev := (now + 1) & 1
+	if len(l.credIn[prev]) != 0 {
+		for i := range l.credIn[prev] {
+			l.credits.push(l.credIn[prev][i])
+		}
+		l.credIn[prev] = l.credIn[prev][:0]
+	}
+	l.credDrained = now
+}
+
+// FlitPending reports whether a flit is due for the consumer at now. It is
+// the consumer-side idle probe behind active-set scheduling: a few loads on
+// an idle link. Calling it also performs the once-per-cycle inbox fold, so a
+// port that consults it every cycle keeps the link on the race-free
+// fast-path fold even when the rest of its step is skipped.
+func (l *Link) FlitPending(now int64) bool {
+	l.foldFlits(now)
+	return l.flits.FrontDue(now)
+}
+
+// CreditPending is FlitPending for the reverse (credit) path.
+func (l *Link) CreditPending(now int64) bool {
+	l.foldCredits(now)
+	return l.credits.frontDue(now) || l.synth.frontDue(now)
+}
+
 // FaultDropped returns the number of flits destroyed on this link by
 // injected faults.
 func (l *Link) FaultDropped() int64 { return l.faultDropped }
 
 // RecvFlit returns the next flit whose arrival time has passed.
 func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
-	l.drainFlits(now)
+	l.foldFlits(now)
 	t, ok := l.flits.PopDue(now)
 	return t.Flit, ok
 }
@@ -161,7 +248,7 @@ func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
 // it, or nil. Used when the receiver may have to stall the write (bank
 // conflicts).
 func (l *Link) PeekFlit(now int64) *proto.Flit {
-	l.drainFlits(now)
+	l.foldFlits(now)
 	if l.flits.Empty() {
 		return nil
 	}
@@ -174,7 +261,7 @@ func (l *Link) PeekFlit(now int64) *proto.Flit {
 
 // DropFlit consumes the flit previously returned by PeekFlit.
 func (l *Link) DropFlit(now int64) {
-	l.drainFlits(now)
+	l.foldFlits(now)
 	if _, ok := l.flits.PopDue(now); !ok {
 		panic("core: DropFlit with no due flit")
 	}
@@ -202,93 +289,228 @@ func (l *Link) auditFlits(fn func(*proto.Flit)) {
 	}
 }
 
-// auditCredits calls fn for every credit currently on the wire.
+// auditCredits calls fn once per credit currently on the wire, expanding
+// the per-cycle batches.
 func (l *Link) auditCredits(fn func(proto.Credit)) {
+	audit := func(b *creditBatch) {
+		for vc := range b.resv {
+			for k := uint16(0); k < b.resv[vc]; k++ {
+				fn(proto.Credit{VC: uint8(vc)})
+			}
+		}
+		for k := uint16(0); k < b.shared; k++ {
+			fn(proto.Credit{Shared: true})
+		}
+	}
 	for i := 0; i < l.credits.n; i++ {
-		fn(l.credits.at(i).c)
+		audit(l.credits.at(i))
 	}
 	for i := 0; i < l.synth.n; i++ {
-		fn(l.synth.at(i).c)
+		audit(l.synth.at(i))
 	}
 	for s := range l.credIn {
 		for i := range l.credIn[s] {
-			fn(l.credIn[s][i].c)
+			audit(&l.credIn[s][i])
 		}
 	}
 }
 
 // SendCredit returns a credit to the link's producer; it arrives after the
-// same latency as the forward path.
+// same latency as the forward path. Credits sent during the same cycle
+// coalesce into one batch entry.
 func (l *Link) SendCredit(now int64, c proto.Credit) {
 	s := now & 1
-	l.credIn[s] = append(l.credIn[s], timedCredit{at: now + l.Latency, c: c})
+	at := now + l.Latency
+	if l.credWake != nil {
+		l.credWake[s][l.credPort] = true
+	}
+	if n := len(l.credIn[s]); n > 0 && l.credIn[s][n-1].at == at {
+		l.credIn[s][n-1].add(c)
+		return
+	}
+	l.credIn[s] = append(l.credIn[s], newCreditBatch(at, c))
 }
 
 // RecvCredit returns the next credit whose arrival time has passed: the
 // earlier-due of the receiver's returned credits and the synthesized
-// fault-drop credits, ties going to the receiver's. Due-time order (rather
-// than a single interleaved FIFO) keeps the result independent of how the
-// two push sides interleave within a cycle, which the parallel executor
-// does not define.
+// fault-drop credits, ties going to the receiver's. Within one batch
+// (one sending cycle) credits come out reserved-VC-ascending, then shared;
+// every consumer folds them into a commutative counter, so the intra-cycle
+// order carries no information. Due-time order across the two rings keeps
+// the result independent of how the two push sides interleave within a
+// cycle, which the parallel executor does not define.
 func (l *Link) RecvCredit(now int64) (proto.Credit, bool) {
-	l.drainCredits(now)
+	l.foldCredits(now)
 	cf, cok := l.credits.front()
 	sf, sok := l.synth.front()
 	switch {
 	case cok && cf.at <= now && (!sok || cf.at <= sf.at):
-		return l.credits.popDue(now)
+		return l.credits.popOneDue(now)
 	case sok && sf.at <= now:
-		return l.synth.popDue(now)
+		return l.synth.popOneDue(now)
 	}
 	return proto.Credit{}, false
 }
 
-type timedCredit struct {
-	at int64
-	c  proto.Credit
+// RecvCreditsInto folds every due credit — receiver-returned and
+// fault-synthesized — into cc and returns how many were applied. This is
+// the hot-path form of RecvCredit: one inbox fold and a few integer adds
+// per sending cycle, instead of one ring pop per credit. Equivalent to
+// draining RecvCredit in a loop because CreditCounter.Return is
+// commutative.
+func (l *Link) RecvCreditsInto(now int64, cc *buffer.CreditCounter) int {
+	l.foldCredits(now)
+	return l.credits.popDueInto(now, cc) + l.synth.popDueInto(now, cc)
 }
 
-// timedCreditRing is a growable FIFO of in-flight credits.
+// creditBatch holds every credit that one cycle returned over a link: a
+// count per reserved VC plus a shared-pool count, all due at the same time.
+type creditBatch struct {
+	at     int64
+	resv   [proto.NumNetVCs]uint16
+	shared uint16
+}
+
+func newCreditBatch(at int64, c proto.Credit) creditBatch {
+	b := creditBatch{at: at}
+	b.add(c)
+	return b
+}
+
+func (b *creditBatch) add(c proto.Credit) {
+	if c.Shared {
+		b.shared++
+		return
+	}
+	if c.VC >= proto.NumNetVCs {
+		panic("core: reserved credit for an internal VC")
+	}
+	b.resv[c.VC]++
+}
+
+// take removes one credit in the canonical order (reserved VCs ascending,
+// then shared) and reports whether the batch is now empty.
+func (b *creditBatch) take() (proto.Credit, bool) {
+	total := b.shared
+	var c proto.Credit
+	taken := false
+	for vc := range b.resv {
+		total += b.resv[vc]
+		if !taken && b.resv[vc] > 0 {
+			b.resv[vc]--
+			c = proto.Credit{VC: uint8(vc)}
+			taken = true
+			total--
+		}
+	}
+	if !taken {
+		if b.shared == 0 {
+			panic("core: take from empty credit batch")
+		}
+		b.shared--
+		c = proto.Credit{Shared: true}
+		total--
+	}
+	return c, total == 0
+}
+
+// timedCreditRing is a growable FIFO of in-flight credit batches. nextAt
+// mirrors the front batch's due time so the per-cycle probes stay on the
+// ring header (see buffer.TimedRing).
 type timedCreditRing struct {
-	buf  []timedCredit
-	head int
-	n    int
+	buf    []creditBatch
+	head   int
+	n      int
+	nextAt int64
 }
 
-func (r *timedCreditRing) push(t timedCredit) {
+// add coalesces a credit into the tail batch when the due times match,
+// otherwise appends a new batch.
+func (r *timedCreditRing) add(at int64, c proto.Credit) {
+	if r.n > 0 {
+		tail := r.at(r.n - 1)
+		if tail.at == at {
+			tail.add(c)
+			return
+		}
+	}
+	r.push(newCreditBatch(at, c))
+}
+
+func (r *timedCreditRing) push(t creditBatch) {
 	if r.n == len(r.buf) {
 		size := len(r.buf) * 2
 		if size == 0 {
 			size = 16
 		}
-		nb := make([]timedCredit, size)
+		nb := make([]creditBatch, size)
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}
 		r.buf = nb
 		r.head = 0
 	}
+	if r.n == 0 {
+		r.nextAt = t.at
+	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
 	r.n++
 }
 
-func (r *timedCreditRing) at(i int) *timedCredit {
+func (r *timedCreditRing) at(i int) *creditBatch {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
-func (r *timedCreditRing) front() (timedCredit, bool) {
+func (r *timedCreditRing) front() (*creditBatch, bool) {
 	if r.n == 0 {
-		return timedCredit{}, false
+		return nil, false
 	}
-	return r.buf[r.head], true
+	return &r.buf[r.head], true
 }
 
-func (r *timedCreditRing) popDue(now int64) (proto.Credit, bool) {
-	if r.n == 0 || r.buf[r.head].at > now {
+// frontDue reports whether the front batch is due; small enough to inline
+// into the per-cycle CreditPending probe, and header-only via nextAt.
+func (r *timedCreditRing) frontDue(now int64) bool {
+	return r.n > 0 && r.nextAt <= now
+}
+
+// popOneDue removes a single credit from the front batch if it is due.
+func (r *timedCreditRing) popOneDue(now int64) (proto.Credit, bool) {
+	if r.n == 0 || r.nextAt > now {
 		return proto.Credit{}, false
 	}
-	c := r.buf[r.head].c
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.n--
+	c, empty := r.buf[r.head].take()
+	if empty {
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+		r.n--
+		if r.n > 0 {
+			r.nextAt = r.buf[r.head].at
+		}
+	}
 	return c, true
+}
+
+// popDueInto folds every due batch into cc and returns the credit count.
+func (r *timedCreditRing) popDueInto(now int64, cc *buffer.CreditCounter) int {
+	total := 0
+	for r.n > 0 && r.nextAt <= now {
+		b := &r.buf[r.head]
+		for vc := range b.resv {
+			if n := int(b.resv[vc]); n > 0 {
+				cc.ReturnN(vc, n)
+				total += n
+			}
+		}
+		if n := int(b.shared); n > 0 {
+			cc.ReturnShared(n)
+			total += n
+		}
+		*b = creditBatch{}
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+		r.n--
+		if r.n > 0 {
+			r.nextAt = r.buf[r.head].at
+		}
+	}
+	return total
 }

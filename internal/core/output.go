@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"stashsim/internal/buffer"
 	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
@@ -28,13 +30,22 @@ func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 	cfg := s.cfg
 	n := cfg.Rows * proto.NumVCs
 	a := &op.muxArb
-	for k := 0; k < n; k++ {
-		idx := a.Next() + k
+	start := a.Next()
+	// Walk only the non-empty column buffers, in round-robin order from the
+	// arbiter pointer: rotate the occupancy mask so bit k stands for index
+	// (start+k) mod n, then peel set bits. Visiting order is identical to
+	// the full scan, so arbitration outcomes are unchanged.
+	rot := op.colMask >> uint(start)
+	if start > 0 {
+		rot |= op.colMask << uint(n-start)
+	}
+	if n < 64 {
+		rot &= uint64(1)<<uint(n) - 1
+	}
+	for ; rot != 0; rot &= rot - 1 {
+		idx := start + bits.TrailingZeros64(rot)
 		if idx >= n {
 			idx -= n
-		}
-		if op.colMask&(1<<uint(idx)) == 0 {
-			continue
 		}
 		row := idx / proto.NumVCs
 		vc := idx % proto.NumVCs
@@ -65,6 +76,9 @@ func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 		// Grant.
 		ff := rb.Pop()
 		op.colOcc--
+		if op.colOcc == 0 {
+			s.muxOcc &^= 1 << uint(op.id)
+		}
 		if rb.Empty() {
 			op.colMask &^= 1 << uint(idx)
 		}
@@ -82,6 +96,7 @@ func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 				ff.VC = ff.RestoreVC
 			}
 			op.buf.Push(ff)
+			s.outActive |= 1 << uint(op.id)
 		}
 		return
 	}
@@ -105,6 +120,8 @@ func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 		return
 	}
 	pool.PutCongested(f)
+	// The flit is now queued for retrieval over the port's row bus.
+	s.inActive |= 1 << uint(op.id)
 	if f.Head() {
 		s.Counters.CongStashed++
 		if f.Class == proto.ClassVictim {
@@ -113,24 +130,28 @@ func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 	}
 }
 
-// stepOutput performs one output-port cycle: drain returned credits,
-// release flits whose link-level retention window has passed, and — when
-// the serialization accumulator allows — transmit one flit, observing
-// end-to-end ACKs at end ports on the way out.
+// stepOutput performs one output-port cycle: release flits whose
+// link-level retention window has passed and — when the serialization
+// accumulator allows — transmit one flit, observing end-to-end ACKs at end
+// ports on the way out. Returned credits are folded into the counter by the
+// caller's CreditPending/RecvCreditsInto pair before this runs.
+//
+// Active-set scheduling may skip an idle port for whole stretches of
+// cycles, so the serialization accumulator advances by formula rather than
+// by per-cycle increment: each elapsed cycle would have added RateNum while
+// acc was below RateDen, and the closed form reproduces that exactly (an
+// idle port cannot have sent, so no cycle in the gap decremented acc).
 func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
 	cfg := s.cfg
-	if op.credits != nil {
-		for {
-			c, ok := op.link.RecvCredit(now)
-			if !ok {
-				break
-			}
-			op.credits.Return(c)
-		}
-	}
 	op.buf.Release(now)
+	elapsed := now - op.accTick
+	op.accTick = now
 	if op.acc < cfg.RateDen {
-		op.acc += cfg.RateNum
+		need := int64((cfg.RateDen - op.acc + cfg.RateNum - 1) / cfg.RateNum)
+		if elapsed > need {
+			elapsed = need
+		}
+		op.acc += int(elapsed) * cfg.RateNum
 	}
 	if op.acc < cfg.RateDen {
 		return
@@ -175,6 +196,12 @@ func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
 		f.Hops++
 	}
 	op.link.SendFlit(now, f)
+	if op.link.synth.n > 0 {
+		// A fault drop synthesized a future credit on this link; keep the
+		// port in the credit-armed set until it drains (no wake flag will
+		// announce a producer-side synthesized credit).
+		s.armedCred |= 1 << uint(op.id)
+	}
 	op.acc -= cfg.RateDen
 	s.Counters.FlitsSent++
 }

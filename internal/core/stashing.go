@@ -117,7 +117,7 @@ func (s *Switch) onLocation(now sim.Tick, m sbMsg) {
 	switch {
 	case e.acked:
 		s.sbSend(now, sbDelete, m.pktID, m.aux, 0, e.size)
-		delete(s.track[m.dst], m.pktID)
+		s.dropEntry(int(m.dst), m.pktID, e)
 		s.Counters.E2EDeletes++
 	case e.nacked:
 		e.stashPort = int16(m.aux)
@@ -142,7 +142,7 @@ func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 		// nothing to free; a NACK leaves recovery to the source
 		// endpoint's timer.
 		if f.Flags&proto.FlagNack == 0 {
-			delete(s.track[port], f.PktID)
+			s.dropEntry(port, f.PktID, e)
 		}
 		return
 	}
@@ -159,7 +159,7 @@ func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 	}
 	if e.stashPort >= 0 {
 		s.sbSend(now, sbDelete, f.PktID, uint8(e.stashPort), 0, e.size)
-		delete(s.track[port], f.PktID)
+		s.dropEntry(port, f.PktID, e)
 		s.Counters.E2EDeletes++
 	} else {
 		e.acked = true
@@ -189,7 +189,7 @@ func (s *Switch) abandonEntry(now sim.Tick, port int, pktID uint64, e *e2eEntry)
 	if e.stashPort >= 0 && !e.lost {
 		s.sbSend(now, sbDelete, pktID, uint8(e.stashPort), 0, e.size)
 	}
-	delete(s.track[port], pktID)
+	s.dropEntry(port, pktID, e)
 	s.Counters.RetryAbandoned++
 }
 
@@ -254,7 +254,7 @@ func (s *Switch) FailStashBank(now sim.Tick, port int) int {
 				// The ACK already settled delivery and was waiting for
 				// the location report to free the copy; the failure
 				// freed it, so the entry is complete.
-				delete(s.track[p], pktID)
+				s.dropEntry(p, pktID, e)
 			} else {
 				e.lost = true
 				e.stashPort = -1
@@ -273,24 +273,28 @@ func (s *Switch) FailStashBank(now sim.Tick, port int) int {
 // stash space stays committed until the eventual positive ACK deletes it.
 func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 	pool := s.stash[stashPort]
-	flits, ok := pool.TakeCopy(pktID)
+	buf, ok := pool.TakeCopy(pktID)
 	if !ok {
 		return // copy already deleted by a racing positive ACK
 	}
+	// The buffer stays owned by the store entry; this reference covers the
+	// re-injection read. Flits are copied by value into the retrieval queue
+	// with their routing state rebuilt, so the retained payload is never
+	// mutated and a later retry starts from the same bytes.
 	s.Counters.E2ERetransmits++
-	h := &flits[0]
+	h := buf.Flits[0]
 	s.tracer.Record(now, metrics.EvRetransmit, pktID, int32(s.ID), int32(stashPort), h.Src, h.Dst)
 	h.Hops = 0
 	h.Phase = proto.PhaseInject
 	h.MidGroup = -1
 	h.Flags &^= proto.FlagNonMinimal | proto.FlagECN
-	dec := s.router.Route(h, s.ID, s)
+	dec := s.router.Route(&h, s.ID, s)
 	nextVC := dec.NextVC
 	if dec.Eject {
 		nextVC = 0
 	}
-	for i := range flits {
-		fl := &flits[i]
+	for i := range buf.Flits {
+		fl := buf.Flits[i]
 		fl.Hops = 0
 		fl.Phase = dec.Phase
 		fl.MidGroup = dec.MidGroup
@@ -301,7 +305,10 @@ func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 		}
 		fl.OrigOut = uint8(dec.Out)
 		fl.RestoreVC = nextVC
-		pool.PushRetr(*fl)
+		pool.PushRetr(fl)
 	}
-	s.created += int64(len(flits))
+	// The copy is queued for retrieval over the stash port's row bus.
+	s.inActive |= 1 << uint(stashPort)
+	s.created += int64(len(buf.Flits))
+	buf.Release()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"stashsim/internal/arb"
 	"stashsim/internal/buffer"
@@ -127,6 +128,7 @@ type outPort struct {
 	sendArb arb.RoundRobin // network VCs
 	credits *buffer.CreditCounter
 	acc     int
+	accTick int64 // last cycle the serialization accumulator advanced
 	mem     buffer.BankedMem
 	rtt     int64
 }
@@ -172,6 +174,32 @@ type Switch struct {
 	track    []map[uint64]*e2eEntry // per end port
 	retryQ   []retryRec             // armed switch-side ACK timers
 
+	// Active-set masks: tileOcc has a bit per tile with queued flits, muxOcc
+	// a bit per output port with occupied column buffers, inActive a bit per
+	// input port with buffered flits or pending stash retrievals, outActive
+	// a bit per output port with queued or retention-held flits. Step walks
+	// their set bits instead of touching every tile and port struct, so a
+	// quiet region of the switch costs no cache traffic at all.
+	tileOcc   uint64
+	muxOcc    uint64
+	inActive  uint64
+	outActive uint64
+
+	// Link wake state. flitWake and credWake are the parity wake boards the
+	// attached links' producers write into (see Link); Step scans slab
+	// (now+1)&1 each cycle — one cache line — instead of probing every link
+	// struct. armedIn and armedCred carry over the ports whose link rings
+	// still hold entries not yet due, which no future wake flag will
+	// re-announce.
+	flitWake  [2][64]bool
+	credWake  [2][64]bool
+	armedIn   uint64
+	armedCred uint64
+
+	// entryFree recycles settled e2eEntry records (LIFO), so steady-state
+	// tracking churn allocates nothing once the high-water mark is reached.
+	entryFree []*e2eEntry
+
 	// created counts flits minted inside this switch: end-to-end stash
 	// duplicates dropped off the row bus and retransmission copies taken
 	// from retained store entries. The invariant checker balances it
@@ -189,6 +217,9 @@ type Switch struct {
 func NewSwitch(id int, cfg *Config, rng *sim.RNG) *Switch {
 	d := cfg.Topo
 	radix := d.Radix()
+	if cfg.Rows*cfg.Cols > 64 || radix > 64 {
+		panic("core: switch exceeds the 64-tile/64-port active-set masks")
+	}
 	s := &Switch{
 		ID:     id,
 		cfg:    cfg,
@@ -226,6 +257,7 @@ func NewSwitch(id int, cfg *Config, rng *sim.RNG) *Switch {
 		op.sendArb = arb.NewRoundRobin(proto.NumNetVCs)
 		op.mem.Ideal = !cfg.BankModel
 		op.rtt = 2 * cfg.Lat.Of(class)
+		op.accTick = -1
 
 		s.stash[p] = buffer.NewStashPool(cfg.StashCap(class), cfg.RetainPayload)
 	}
@@ -256,14 +288,24 @@ func NewSwitch(id int, cfg *Config, rng *sim.RNG) *Switch {
 	return s
 }
 
-// AttachInLink wires the incoming link of input port p.
-func (s *Switch) AttachInLink(p int, l *Link) { s.in[p].link = l }
+// AttachInLink wires the incoming link of input port p and registers this
+// switch's flit wake board with it, so the link's producer announces sends
+// instead of the switch probing the link every cycle.
+func (s *Switch) AttachInLink(p int, l *Link) {
+	s.in[p].link = l
+	l.flitWake = &s.flitWake
+	l.flitPort = uint8(p)
+}
 
 // AttachOutLink wires the outgoing link of output port p. The credit
 // counter mirrors the downstream input buffer; pass zero capacity for
-// endpoint-facing ports (endpoints sink flits without credits).
+// endpoint-facing ports (endpoints sink flits without credits). The
+// switch's credit wake board is registered with the link so the
+// downstream receiver announces credit returns.
 func (s *Switch) AttachOutLink(p int, l *Link, downstreamCap int) {
 	s.out[p].link = l
+	l.credWake = &s.credWake
+	l.credPort = uint8(p)
 	if downstreamCap > 0 {
 		s.out[p].credits = buffer.NewCreditCounter(downstreamCap, proto.NumNetVCs)
 	}
@@ -472,23 +514,130 @@ var _ sim.Stepper = (*Switch)(nil)
 // Step advances the switch one cycle. Stages run in reverse pipeline order
 // so a flit advances at most one stage per cycle; arrivals are folded in
 // last so flits that land at cycle t first compete for the row bus at t+1.
+//
+// Each stage iterates only its active set: a port or tile is stepped when
+// an event is pending for it — a link wake flag or armed ring, queued or
+// retention-held flits, a non-empty retrieval queue — and costs nothing
+// otherwise, so an idle region of the network is skipped outright
+// (work-proportional stepping). Pending-ness is announced, not probed:
+// link producers raise parity wake flags (see Link) that Step scans as
+// one cache line per direction, the armed masks carry ports whose link
+// rings hold entries not yet due, and the activity masks are maintained
+// by the owner at every site that queues work for a port. Any per-cycle
+// state a skipped stage would have advanced is reconstructed
+// deterministically on wake — the output serialization accumulator
+// catches up in stepOutput (accTick), and an idle input port's ECN
+// congested flag is cleared when its activity bit clears, which is
+// exactly what stepRowBus would compute for an empty buffer. Skipped
+// stages are otherwise provably no-ops: every arbiter pointer advances
+// only on grants, and grants require a non-empty request set.
 func (s *Switch) Step(now sim.Tick) {
 	s.m.cycles.Inc()
 	s.stepRetry(now)
-	s.stepSideband(now)
-	for p := range s.out {
-		s.stepOutput(now, &s.out[p])
+	if s.sideband.n > 0 {
+		s.stepSideband(now)
 	}
-	for p := range s.out {
-		s.stepMux(now, &s.out[p])
+	// Fold announced credit returns straight into the counters. The wake
+	// slab holds flags producers raised last cycle; the armed mask re-visits
+	// links whose folded batches are not yet due (future deadlines, synth).
+	cw := &s.credWake[(now+1)&1]
+	cm := s.armedCred
+	for p := 0; p < s.radix; p++ {
+		if cw[p] {
+			cw[p] = false
+			cm |= 1 << uint(p)
+		}
 	}
-	for t := range s.tiles {
-		s.stepTile(now, &s.tiles[t])
+	s.armedCred = 0
+	for m := cm; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		op := &s.out[p]
+		l := op.link
+		l.foldWakeCredits(now)
+		if op.credits != nil && (l.credits.frontDue(now) || l.synth.frontDue(now)) {
+			l.RecvCreditsInto(now, op.credits)
+		}
+		if l.credits.n > 0 || l.synth.n > 0 {
+			s.armedCred |= 1 << uint(p)
+		}
 	}
-	for p := range s.in {
-		s.stepRowBus(now, &s.in[p])
+	// Mask walks visit active ports/tiles in ascending index order — the
+	// same order the full scans visited, so arbitration is unchanged. Bits
+	// set mid-walk (a tile feeding a mux) are picked up next cycle, exactly
+	// as the one-stage-per-cycle pipeline requires.
+	for m := s.outActive; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		op := &s.out[p]
+		// A port with only retention-held flits sleeps until its front
+		// entry is due; the activity bit keeps it in the walk meanwhile.
+		if op.buf.Queued() == 0 && !op.buf.ReleaseDue(now) {
+			continue
+		}
+		s.stepOutput(now, op)
+		if op.buf.Queued() == 0 && op.buf.Retained() == 0 {
+			s.outActive &^= 1 << uint(p)
+		}
 	}
-	for p := range s.in {
-		s.stepArrivals(now, &s.in[p])
+	for m := s.muxOcc; m != 0; m &= m - 1 {
+		s.stepMux(now, &s.out[bits.TrailingZeros64(m)])
 	}
+	for m := s.tileOcc; m != 0; m &= m - 1 {
+		s.stepTile(now, &s.tiles[bits.TrailingZeros64(m)])
+	}
+	for m := s.inActive; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		ip := &s.in[p]
+		s.stepRowBus(now, ip)
+		if ip.buf.Used() == 0 && s.stash[p].RetrLen() == 0 {
+			s.inActive &^= 1 << uint(p)
+			// An empty buffer is never over the ECN threshold.
+			ip.congested = false
+		}
+	}
+	// Arrivals: announced sends plus armed links with flits still in
+	// flight. A port absent from both sets provably has an empty ring and
+	// an empty foldable inbox slot, so skipping its fold is safe.
+	fw := &s.flitWake[(now+1)&1]
+	am := s.armedIn
+	for p := 0; p < s.radix; p++ {
+		if fw[p] {
+			fw[p] = false
+			am |= 1 << uint(p)
+		}
+	}
+	s.armedIn = 0
+	for m := am; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		ip := &s.in[p]
+		l := ip.link
+		l.foldWakeFlits(now)
+		if l.flits.FrontDue(now) {
+			s.stepArrivals(now, ip)
+			if ip.buf.Used() > 0 {
+				s.inActive |= 1 << uint(p)
+			}
+		}
+		if l.flits.Len() > 0 {
+			s.armedIn |= 1 << uint(p)
+		}
+	}
+}
+
+// newEntry takes a tracking entry from the freelist, or allocates one on a
+// cold list. The entry comes back zeroed.
+func (s *Switch) newEntry() *e2eEntry {
+	if n := len(s.entryFree); n > 0 {
+		e := s.entryFree[n-1]
+		s.entryFree = s.entryFree[:n-1]
+		*e = e2eEntry{}
+		return e
+	}
+	return &e2eEntry{}
+}
+
+// dropEntry removes a settled tracking entry from its end-port map and
+// recycles it. The caller must not touch e afterwards.
+func (s *Switch) dropEntry(port int, pktID uint64, e *e2eEntry) {
+	delete(s.track[port], pktID)
+	s.entryFree = append(s.entryFree, e)
 }

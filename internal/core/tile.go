@@ -120,10 +120,14 @@ func (s *Switch) stepTile(now sim.Tick, t *tile) {
 		op.colBufs[t.row][vc].Push(f)
 		op.colOcc++
 		op.colMask |= 1 << uint(t.row*proto.NumVCs+vc)
+		s.muxOcc |= 1 << uint(port)
 		t.vcNext[slot] = stream + 1
 		if t.vcNext[slot] == proto.NumVCs {
 			t.vcNext[slot] = 0
 		}
+	}
+	if t.occupied == 0 {
+		s.tileOcc &^= 1 << uint(t.row*s.cfg.Cols+t.col)
 	}
 }
 

@@ -34,7 +34,17 @@ type sendQ struct {
 
 func (q *sendQ) len() int { return len(q.pkts) - q.head }
 
-func (q *sendQ) push(p pktDesc) { q.pkts = append(q.pkts, p) }
+func (q *sendQ) push(p pktDesc) {
+	if q.head > 0 && len(q.pkts) == cap(q.pkts) {
+		// Reclaim the consumed prefix instead of growing: a queue that
+		// churns without ever fully draining would otherwise reallocate
+		// forever.
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	q.pkts = append(q.pkts, p)
+}
 
 func (q *sendQ) front() *pktDesc { return &q.pkts[q.head] }
 
@@ -126,8 +136,11 @@ type Endpoint struct {
 	seen map[uint64]struct{}
 
 	// Source retransmission state (Retrans.Enabled): unacknowledged data
-	// packets, their armed timers, and the resend queue.
+	// packets, their armed timers, and the resend queue. outFree recycles
+	// settled outPkt records so the steady-state inject/ack cycle stops
+	// allocating one record per packet.
 	outstanding map[uint64]*outPkt
+	outFree     []*outPkt
 	outTimers   []epTimer
 	rtxQ        []rtxItem
 	rtxHead     int
@@ -367,6 +380,11 @@ func (e *Endpoint) resend(now sim.Tick, pktID uint64, o *outPkt) {
 	o.retries++
 	o.deadline = now + fault.Backoff(e.cfg.Retrans.EndpointTimeout, int(o.retries))
 	e.outTimers = append(e.outTimers, epTimer{deadline: o.deadline, pktID: pktID})
+	if e.rtxHead > 0 && len(e.rtxQ) == cap(e.rtxQ) {
+		n := copy(e.rtxQ, e.rtxQ[e.rtxHead:])
+		e.rtxQ = e.rtxQ[:n]
+		e.rtxHead = 0
+	}
 	e.rtxQ = append(e.rtxQ, rtxItem{pktID: pktID, size: o.desc.size})
 	e.queuedFlits += int64(o.desc.size)
 	e.Retransmits++
@@ -375,11 +393,30 @@ func (e *Endpoint) resend(now sim.Tick, pktID uint64, o *outPkt) {
 	}
 }
 
+// newOutPkt draws a zeroed outstanding-packet record from the freelist,
+// allocating only when it is empty. Like the switch's e2eEntry freelist it
+// is deterministic LIFO reuse — record identity never reaches the wire.
+func (e *Endpoint) newOutPkt() *outPkt {
+	if n := len(e.outFree); n > 0 {
+		o := e.outFree[n-1]
+		e.outFree = e.outFree[:n-1]
+		*o = outPkt{}
+		return o
+	}
+	return &outPkt{}
+}
+
+// dropOut retires an outstanding record and recycles it.
+func (e *Endpoint) dropOut(pktID uint64, o *outPkt) {
+	delete(e.outstanding, pktID)
+	e.outFree = append(e.outFree, o)
+}
+
 // abandon gives up on an unacknowledged packet after retry exhaustion,
 // releasing its transmission-window share so the destination is not
 // permanently penalized.
 func (e *Endpoint) abandon(pktID uint64, o *outPkt) {
-	delete(e.outstanding, pktID)
+	e.dropOut(pktID, o)
 	e.Abandoned++
 	if e.Collector != nil {
 		e.Collector.RetransAbandon()
@@ -419,17 +456,16 @@ func (e *Endpoint) pushAck(now sim.Tick, f *proto.Flit, nack bool) {
 	if e.cfg.VerifyChecksums() {
 		ack.Csum = proto.FlitSum(&ack)
 	}
+	if e.ackHead > 0 && len(e.ackQ) == cap(e.ackQ) {
+		n := copy(e.ackQ, e.ackQ[e.ackHead:])
+		e.ackQ = e.ackQ[:n]
+		e.ackHead = 0
+	}
 	e.ackQ = append(e.ackQ, ack)
 }
 
 func (e *Endpoint) stepInject(now sim.Tick) {
-	for {
-		c, ok := e.toSw.RecvCredit(now)
-		if !ok {
-			break
-		}
-		e.credits.Return(c)
-	}
+	e.toSw.RecvCreditsInto(now, e.credits)
 	if e.acc < e.cfg.RateDen {
 		e.acc += e.cfg.RateNum
 	}
@@ -547,8 +583,10 @@ func (e *Endpoint) startPacket(now sim.Tick) bool {
 		e.pktSeq++
 		e.InjectedPkts++
 		if e.cfg.Retrans.Enabled {
-			o := &outPkt{desc: desc, birth: now,
-				deadline: now + e.cfg.Retrans.EndpointTimeout}
+			o := e.newOutPkt()
+			o.desc = desc
+			o.birth = now
+			o.deadline = now + e.cfg.Retrans.EndpointTimeout
 			e.outstanding[e.cur.pktID] = o
 			e.outTimers = append(e.outTimers, epTimer{deadline: o.deadline, pktID: e.cur.pktID})
 		}
@@ -608,7 +646,9 @@ func (e *Endpoint) onAck(now sim.Tick, f *proto.Flit) {
 		e.Collector.Ack()
 	}
 	if f.Flags&proto.FlagNack == 0 {
-		delete(e.outstanding, f.PktID)
+		if o := e.outstanding[f.PktID]; o != nil {
+			e.dropOut(f.PktID, o)
+		}
 	} else if e.cfg.Retrans.Enabled && e.cfg.Mode != core.StashE2E {
 		// NACK without a stash-resident copy: the source is the only
 		// recovery path, so respond immediately rather than waiting for

@@ -167,6 +167,45 @@ func TestInvariantsCatchStashOverflow(t *testing.T) {
 	expectViolation(t, "stash occupancy", func() { n.Invariants.Check(n.Now) })
 }
 
+func TestInvariantsCatchFreedBufInBank(t *testing.T) {
+	cfg := core.TinyConfig()
+	cfg.Mode = core.StashE2E
+	cfg.RetainPayload = true
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.EnableInvariants(1)
+	n.Run(100)
+	n.Invariants.Out = io.Discard
+	var pool *buffer.StashPool
+	for p := 0; p < n.Cfg.Topo.Radix() && pool == nil; p++ {
+		if cand := n.Switches[0].PortStash(p); cand.Capacity() > 0 {
+			pool = cand
+		}
+	}
+	if pool == nil {
+		t.Fatal("no stash-capable port on sw0")
+	}
+	// Complete a one-flit stash copy so the bank retains its payload
+	// buffer, compensating the fabricated flit in the global count.
+	pool.PutCopy(proto.Flit{PktID: 7, Size: 1})
+	orig := n.Invariants.ExtCreated
+	n.Invariants.ExtCreated = func() int64 { return orig() + 1 }
+	n.Invariants.Check(n.Now) // healthy retained copy passes the audit
+	// Now corrupt it: drop the bank's reference behind the pool's back.
+	// TakeCopy hands us a second reference; releasing both frees the
+	// buffer to the freelist while the store entry still points at it —
+	// the exact use-after-free the liveness law exists to catch.
+	b, ok := pool.TakeCopy(7)
+	if !ok {
+		t.Fatal("stash copy not retained")
+	}
+	b.Release()
+	b.Release()
+	expectViolation(t, "stash liveness", func() { n.Invariants.Check(n.Now) })
+}
+
 // TestInvariantsNilAndSparse covers the disabled fast path and the
 // sparse-audit interval.
 func TestInvariantsNilAndSparse(t *testing.T) {

@@ -1,0 +1,93 @@
+// Deterministic packet-buffer freelist.
+//
+// The steady-state simulation loop must not allocate: every per-packet
+// structure the hot path creates is recycled through an explicit LIFO
+// freelist rather than sync.Pool. sync.Pool is unusable here twice over —
+// it drops cached objects at GC (so allocation behaviour depends on GC
+// timing) and its per-P caches make reuse order depend on goroutine
+// scheduling. A plain slice-backed stack is deterministic by construction:
+// the same simulation always produces the same sequence of Get/Put pairs,
+// and the parallel executor never shares a pool across workers (each switch
+// owns its pools, and a switch is stepped by exactly one worker per cycle).
+package proto
+
+// PktBuf is a ref-counted buffer holding the flits of one packet. It backs
+// the retained stash copies of the end-to-end reliability mechanism: the
+// stash bank keeps one reference for as long as the copy is resident, and
+// each retransmission takes a transient reference while it re-injects the
+// flits. The buffer returns to its pool when the last reference drops, so a
+// retransmission storm recycles the same handful of buffers instead of
+// copying the payload once per resend.
+type PktBuf struct {
+	Flits []Flit
+	refs  int32
+	pool  *BufPool
+}
+
+// Refs returns the current reference count (0 means freed / pool-resident).
+func (b *PktBuf) Refs() int { return int(b.refs) }
+
+// Freed reports whether the buffer has been returned to its pool. A freed
+// buffer must not be reachable from any stash bank; the invariant checker
+// audits exactly that.
+func (b *PktBuf) Freed() bool { return b.refs <= 0 }
+
+// Retain takes an additional reference. Retaining a freed buffer is a
+// use-after-free and panics immediately rather than corrupting the pool.
+func (b *PktBuf) Retain() {
+	if b.refs <= 0 {
+		panic("proto: Retain on freed PktBuf")
+	}
+	b.refs++
+}
+
+// Release drops one reference; when the last one goes the buffer is reset
+// and pushed back on its pool's freelist. Releasing a freed buffer panics:
+// a double release would let two packets share one buffer.
+func (b *PktBuf) Release() {
+	if b.refs <= 0 {
+		panic("proto: Release on freed PktBuf")
+	}
+	b.refs--
+	if b.refs == 0 {
+		b.Flits = b.Flits[:0]
+		p := b.pool
+		p.live--
+		p.free = append(p.free, b)
+	}
+}
+
+// BufPool is a deterministic LIFO freelist of PktBufs. The zero value is
+// ready to use. Not safe for concurrent use; ownership follows the switch
+// that embeds it.
+type BufPool struct {
+	free []*PktBuf
+	// news counts buffers ever allocated, live the references currently
+	// outstanding. In steady state news stops growing: every Get is
+	// served from free.
+	news int64
+	live int64
+}
+
+// Get pops a buffer from the freelist (or allocates one on a cold pool)
+// and hands it out with a reference count of one and zero length. Capacity
+// is pre-sized to MaxPacketFlits so appending a packet never reallocates.
+func (p *BufPool) Get() *PktBuf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		b.refs = 1
+		p.live++
+		return b
+	}
+	p.news++
+	p.live++
+	return &PktBuf{Flits: make([]Flit, 0, MaxPacketFlits), refs: 1, pool: p}
+}
+
+// Allocated returns how many buffers the pool has ever created. Flat under
+// steady state; the zero-allocation benchmark relies on that.
+func (p *BufPool) Allocated() int64 { return p.news }
+
+// Live returns how many buffers are currently checked out.
+func (p *BufPool) Live() int64 { return p.live }

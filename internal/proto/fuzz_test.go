@@ -1,0 +1,104 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedFlit is a representative valid flit used to seed the codec
+// corpus alongside the committed files in testdata/fuzz.
+func fuzzSeedFlit() Flit {
+	return Flit{
+		Src:       3,
+		Dst:       7,
+		MsgID:     42,
+		PktID:     MakePktID(3, 9),
+		Birth:     1234,
+		Seq:       1,
+		Size:      4,
+		VC:        1,
+		RestoreVC: 0,
+		Out:       5,
+		OrigOut:   5,
+		Kind:      Data,
+		Flags:     FlagTail,
+		Class:     ClassDefault,
+		Phase:     PhaseMinimal,
+		Hops:      2,
+		MidGroup:  -1,
+		Csum:      0xBEEF,
+	}
+}
+
+// FuzzFlitCodec checks the codec contract from both directions: every
+// accepted byte string re-encodes to itself (the encoding is canonical),
+// and every decoded flit survives an encode/decode round trip unchanged.
+// Rejections must be clean errors with zero bytes consumed — never a
+// panic, never partial progress.
+func FuzzFlitCodec(f *testing.F) {
+	seed := fuzzSeedFlit()
+	f.Add(AppendFlit(nil, &seed))
+	head := seed
+	head.Seq = 0
+	head.Flags = FlagHead
+	head.Kind = ACK
+	f.Add(AppendFlit(nil, &head))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, FlitWireSize))
+	f.Add(AppendFlit(nil, &seed)[:FlitWireSize-1]) // truncated
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fl, n, err := DecodeFlit(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("DecodeFlit consumed %d bytes alongside error %v", n, err)
+			}
+			return
+		}
+		if n != FlitWireSize {
+			t.Fatalf("DecodeFlit consumed %d bytes, want %d", n, FlitWireSize)
+		}
+		re := AppendFlit(nil, &fl)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("encoding not canonical:\n accepted %x\n re-encoded %x", b[:n], re)
+		}
+		fl2, n2, err := DecodeFlit(re)
+		if err != nil || n2 != n || fl2 != fl {
+			t.Fatalf("round trip diverged: %+v / %d / %v, want %+v", fl2, n2, err, fl)
+		}
+	})
+}
+
+// FuzzFlitSum checks the checksum contract on every flit the codec
+// accepts: FlitSum is a pure function of the identity fields, so mutating
+// any field the switch legitimately rewrites in flight — VC, routing
+// state, flags, hop count — must leave it unchanged.
+func FuzzFlitSum(f *testing.F) {
+	seed := fuzzSeedFlit()
+	f.Add(AppendFlit(nil, &seed))
+	f.Add(bytes.Repeat([]byte{0x01}, FlitWireSize))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fl, _, err := DecodeFlit(b)
+		if err != nil {
+			return
+		}
+		want := FlitSum(&fl)
+		if got := FlitSum(&fl); got != want {
+			t.Fatalf("FlitSum not deterministic: %#x then %#x", want, got)
+		}
+		mut := fl
+		mut.VC = (mut.VC + 1) % NumVCs
+		mut.RestoreVC = (mut.RestoreVC + 1) % NumVCs
+		mut.Out ^= 0x3F
+		mut.OrigOut ^= 0x3F
+		mut.Flags ^= FlagECN | FlagNonMinimal | FlagStashCopy
+		mut.Phase = (mut.Phase + 1) % (PhaseMinimal + 1)
+		mut.Hops++
+		mut.MidGroup ^= 0x55
+		mut.Csum ^= 0xFFFF
+		if got := FlitSum(&mut); got != want {
+			t.Fatalf("FlitSum covers mutable state: %#x after mutation, want %#x", got, want)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceRead feeds arbitrary text to the trace parser. Read must
+// either return a validated trace or a clean error — the seed corpus
+// includes the shapes that used to panic: a bare rank record (missing
+// field), event records before any header, and headers with hostile rank
+// counts. Every accepted trace must survive a Write/Read round trip
+// unchanged, pinning the two directions of the text format to each other.
+func FuzzTraceRead(f *testing.F) {
+	var buf bytes.Buffer
+	valid := &Trace{
+		Name:  "ping",
+		Ranks: 2,
+		Events: [][]Event{
+			{{Kind: Send, Peer: 1, Bytes: 64, MsgID: 1}, {Kind: Recv, Peer: 1, MsgID: 2}},
+			{{Kind: Recv, Peer: 0, MsgID: 1}, {Kind: Send, Peer: 0, Bytes: 32, MsgID: 2}},
+		},
+	}
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("r\n")                    // truncated rank record
+	f.Add("s 1 64 1\n")             // event before header
+	f.Add("v 0 1\n")                // event before header
+	f.Add("trace x -5\n")           // negative rank count
+	f.Add("trace x 99999999999\n")  // absurd rank count
+	f.Add("trace a 2\ntrace b 2\n") // duplicate header
+	f.Add("trace x 2\ns 1 64 1\n")  // event outside a rank section
+	f.Add("# comment\n\ntrace x 1\nr 0\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := Read(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Read returned an invalid trace: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := tr.Write(&out); werr != nil {
+			t.Fatalf("Write failed on accepted trace: %v", werr)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-read of written trace failed: %v\n%s", err, out.String())
+		}
+		if tr2.Name != tr.Name || tr2.Ranks != tr.Ranks || !reflect.DeepEqual(tr2.Events, tr.Events) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", tr2, tr)
+		}
+	})
+}

@@ -144,11 +144,18 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a trace produced by Write.
+// MaxRanks bounds the rank count Read accepts, so a corrupt or hostile
+// header cannot make it allocate an absurd event table.
+const MaxRanks = 1 << 20
+
+// Read parses a trace produced by Write. Malformed input — truncated
+// records, event records before the header or outside a rank section,
+// out-of-range rank counts — yields an error, never a panic.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	t := &Trace{}
+	seenHeader := false
 	cur := -1
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -161,12 +168,25 @@ func Read(r io.Reader) (*Trace, error) {
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("trace: malformed header %q", line)
 			}
+			if seenHeader {
+				return nil, fmt.Errorf("trace: duplicate header %q", line)
+			}
 			t.Name = fields[1]
 			if _, err := fmt.Sscanf(fields[2], "%d", &t.Ranks); err != nil {
 				return nil, err
 			}
+			if t.Ranks < 1 || t.Ranks > MaxRanks {
+				return nil, fmt.Errorf("trace: rank count %d out of range [1, %d]", t.Ranks, MaxRanks)
+			}
 			t.Events = make([][]Event, t.Ranks)
+			seenHeader = true
 		case "r":
+			if !seenHeader {
+				return nil, fmt.Errorf("trace: rank record before header: %q", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: malformed rank record %q", line)
+			}
 			if _, err := fmt.Sscanf(fields[1], "%d", &cur); err != nil {
 				return nil, err
 			}
@@ -174,17 +194,29 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: rank %d out of range", cur)
 			}
 		case "s":
+			if cur < 0 {
+				return nil, fmt.Errorf("trace: send record outside a rank section: %q", line)
+			}
 			var peer, bytes int
 			var id uint32
 			if _, err := fmt.Sscanf(line, "s %d %d %d", &peer, &bytes, &id); err != nil {
 				return nil, err
 			}
+			if peer < 0 || peer >= MaxRanks {
+				return nil, fmt.Errorf("trace: send peer %d out of range", peer)
+			}
 			t.Events[cur] = append(t.Events[cur], Event{Kind: Send, Peer: int32(peer), Bytes: bytes, MsgID: id})
 		case "v":
+			if cur < 0 {
+				return nil, fmt.Errorf("trace: recv record outside a rank section: %q", line)
+			}
 			var peer int
 			var id uint32
 			if _, err := fmt.Sscanf(line, "v %d %d", &peer, &id); err != nil {
 				return nil, err
+			}
+			if peer < 0 || peer >= MaxRanks {
+				return nil, fmt.Errorf("trace: recv peer %d out of range", peer)
 			}
 			t.Events[cur] = append(t.Events[cur], Event{Kind: Recv, Peer: int32(peer), MsgID: id})
 		default:
@@ -193,6 +225,9 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("trace: missing header")
 	}
 	return t, t.Validate()
 }
