@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fault-smoke par-smoke bench bench-all figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke par-smoke obs-smoke bench bench-all bench-diff figures figures-paper examples clean
 
-all: build vet lint test race fault-smoke par-smoke
+all: build vet lint test race fault-smoke par-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ par-smoke:
 	$(GO) test -race -count=1 -run 'TestParallelStepRace|TestParallelMatchesSerial' ./internal/network
 	$(GO) test -count=1 -run 'TestWorkersDeterminism' ./cmd/stashsim
 
+# Observability smoke: the live telemetry server scraped from concurrent
+# goroutines while a two-worker profiled simulation runs, under the race
+# detector. Guards the lock-light snapshot path, the profiler's atomic
+# recording, and the watchdog/flight wiring end to end.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke|TestServeDoesNotPerturbDeterminism' ./internal/telemetry
+
 # Hot-path benchmark grid: the parallel-executor scaling matrix and the
 # per-cycle steady-state cost, converted to BENCH_hotpath.json (the
 # committed perf-trajectory snapshot; regenerate and commit after any
@@ -62,6 +69,14 @@ bench:
 # the ablations. Full datasets come from `make figures`.
 bench-all:
 	$(GO) test -bench=. -benchmem .
+
+# Compare a fresh hot-path bench run against the committed snapshot without
+# overwriting it: the table flags any allocs/op drift (real regressions) and
+# shows ns/op deltas (noisy on this host — see the `bench` comment).
+bench-diff:
+	$(GO) test -bench 'BenchmarkParallelExecutor|BenchmarkHotPathSteadyState' \
+		-benchmem -count=1 . | $(GO) run ./cmd/benchjson > /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -diff BENCH_hotpath.json /tmp/bench_new.json
 
 # Regenerate every table and figure on the scaled (342-endpoint) network.
 figures:

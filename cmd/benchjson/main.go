@@ -5,15 +5,32 @@
 // BENCH_hotpath.json, the committed perf-trajectory snapshot; the text
 // stream itself stays benchstat-compatible, so keep raw logs when
 // comparing runs statistically.
+//
+// Each document is stamped with the git commit, date, and go version it
+// was measured at, so a committed snapshot records its provenance.
+//
+// A second mode compares two snapshots:
+//
+//	benchjson -diff BENCH_hotpath.json /tmp/bench_new.json
+//
+// printing one line per benchmark with the ns/op and allocs/op deltas
+// (the `make bench-diff` target). Benchmarks present in only one file
+// are flagged rather than dropped.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark line: Iters runs of Name, with Metrics holding
@@ -24,20 +41,55 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Doc is the emitted document. Goos/Goarch/Pkg echo the bench header so a
-// committed snapshot records where it was measured.
+// Doc is the emitted document. Goos/Goarch/Pkg echo the bench header and
+// Commit/Date/GoVersion stamp the measurement, so a committed snapshot
+// records where and when it was taken.
 type Doc struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Commit     string   `json:"commit,omitempty"`
+	Date       string   `json:"date,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
 func main() {
-	sc := bufio.NewScanner(os.Stdin)
+	diffMode := flag.Bool("diff", false, "compare two snapshot files (old new) instead of converting stdin")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		changed, err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		_ = changed
+		return
+	}
+	doc, err := convert(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	stamp(doc)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// convert parses a `go test -bench` text stream into a Doc.
+func convert(r io.Reader) (*Doc, error) {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	doc := Doc{Benchmarks: []Result{}}
+	doc := &Doc{Benchmarks: []Result{}}
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -55,15 +107,20 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// stamp records measurement provenance. Git being unavailable (or the
+// tree not being a checkout) just leaves the commit blank — the stamp is
+// metadata, never a reason to drop the measurement itself.
+func stamp(doc *Doc) {
+	doc.Date = time.Now().UTC().Format(time.RFC3339)
+	doc.GoVersion = runtime.Version()
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		doc.Commit = strings.TrimSpace(string(out))
+		if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(out) > 0 {
+			doc.Commit += "-dirty"
+		}
 	}
 }
 
@@ -88,4 +145,109 @@ func parseLine(line string) (Result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// loadDoc reads a snapshot file.
+func loadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey strips the trailing GOMAXPROCS suffix ("-8") so snapshots
+// taken on machines with different core counts still line up.
+func benchKey(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diffFiles prints a per-benchmark comparison of two snapshots: ns/op
+// and allocs/op with absolute and relative deltas, old rows first in the
+// old file's order, then any benchmarks only the new file has. Returns
+// the number of benchmarks whose allocs/op changed (the signal
+// `make bench-diff` cares most about; ns/op noise is expected on shared
+// machines).
+func diffFiles(w io.Writer, oldPath, newPath string) (int, error) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "old: %s  (commit %s, %s)\n", oldPath, orDash(oldDoc.Commit), orDash(oldDoc.Date))
+	fmt.Fprintf(w, "new: %s  (commit %s, %s)\n\n", newPath, orDash(newDoc.Commit), orDash(newDoc.Date))
+
+	newByKey := make(map[string]Result, len(newDoc.Benchmarks))
+	for _, r := range newDoc.Benchmarks {
+		newByKey[benchKey(r.Name)] = r
+	}
+	wid := len("benchmark")
+	for _, r := range oldDoc.Benchmarks {
+		if n := len(benchKey(r.Name)); n > wid {
+			wid = n
+		}
+	}
+	for _, r := range newDoc.Benchmarks {
+		if n := len(benchKey(r.Name)); n > wid {
+			wid = n
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %8s  %14s  %8s\n", wid, "benchmark", "ns/op", "Δ%", "allocs/op", "Δ")
+
+	allocChanges := 0
+	seen := make(map[string]bool, len(oldDoc.Benchmarks))
+	for _, o := range oldDoc.Benchmarks {
+		key := benchKey(o.Name)
+		seen[key] = true
+		n, ok := newByKey[key]
+		if !ok {
+			fmt.Fprintf(w, "%-*s  (removed)\n", wid, key)
+			continue
+		}
+		oldNS, newNS := o.Metrics["ns/op"], n.Metrics["ns/op"]
+		oldAllocs, newAllocs := o.Metrics["allocs/op"], n.Metrics["allocs/op"]
+		pct := "-"
+		if oldNS > 0 {
+			pct = fmt.Sprintf("%+.1f%%", 100*(newNS-oldNS)/oldNS)
+		}
+		dAllocs := newAllocs - oldAllocs
+		if dAllocs != 0 {
+			allocChanges++
+		}
+		fmt.Fprintf(w, "%-*s  %14.0f  %8s  %14.0f  %+8.0f\n",
+			wid, key, newNS, pct, newAllocs, dAllocs)
+	}
+	var added []string
+	for key := range newByKey {
+		if !seen[key] {
+			added = append(added, key)
+		}
+	}
+	sort.Strings(added)
+	for _, key := range added {
+		fmt.Fprintf(w, "%-*s  (new)\n", wid, key)
+	}
+	if allocChanges > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) changed allocs/op\n", allocChanges)
+	}
+	return allocChanges, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

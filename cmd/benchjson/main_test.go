@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: stashsim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkHotPath/load=10%-8   	   51150	     29551 ns/op	        36 switch-cycles/op	      36 B/op	       0 allocs/op
+BenchmarkHotPath/load=30%-8   	   18945	     72317 ns/op	        36 switch-cycles/op	      66 B/op	       0 allocs/op
+some stray log line the converter must skip
+BenchmarkBroken line without numbers
+`
+
+func TestConvert(t *testing.T) {
+	doc, err := convert(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "stashsim" {
+		t.Fatalf("header parsed wrong: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkHotPath/load=10%-8" || b.Iters != 51150 {
+		t.Fatalf("first benchmark parsed wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 29551 || b.Metrics["allocs/op"] != 0 || b.Metrics["switch-cycles/op"] != 36 {
+		t.Fatalf("metrics parsed wrong: %+v", b.Metrics)
+	}
+}
+
+func TestStamp(t *testing.T) {
+	doc := &Doc{}
+	stamp(doc)
+	if doc.GoVersion == "" || !strings.HasPrefix(doc.GoVersion, "go") {
+		t.Fatalf("go version not stamped: %q", doc.GoVersion)
+	}
+	if doc.Date == "" || !strings.Contains(doc.Date, "T") {
+		t.Fatalf("date not RFC3339: %q", doc.Date)
+	}
+	// Commit may legitimately be empty outside a git checkout; in this
+	// repo's tree it should resolve.
+	if _, err := os.Stat(filepath.Join("..", "..", ".git")); err == nil && doc.Commit == "" {
+		t.Fatal("commit not stamped inside a git checkout")
+	}
+}
+
+func TestBenchKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkHotPath/load=10%-8": "BenchmarkHotPath/load=10%",
+		"BenchmarkHotPath/load=10%":   "BenchmarkHotPath/load=10%",
+		"BenchmarkPlain-16":           "BenchmarkPlain",
+		"BenchmarkDash-v2":            "BenchmarkDash-v2",
+	} {
+		if got := benchKey(in); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", `{
+	  "commit": "abc123",
+	  "benchmarks": [
+	    {"name": "BenchmarkA-8", "iters": 10, "metrics": {"ns/op": 1000, "allocs/op": 5}},
+	    {"name": "BenchmarkGone-8", "iters": 10, "metrics": {"ns/op": 50, "allocs/op": 0}}
+	  ]
+	}`)
+	newPath := writeDoc(t, dir, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkA-4", "iters": 10, "metrics": {"ns/op": 1100, "allocs/op": 7}},
+	    {"name": "BenchmarkFresh-4", "iters": 10, "metrics": {"ns/op": 9, "allocs/op": 0}}
+	  ]
+	}`)
+	var sb strings.Builder
+	changed, err := diffFiles(&sb, oldPath, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if changed != 1 {
+		t.Fatalf("want 1 alloc change, got %d:\n%s", changed, out)
+	}
+	for _, want := range []string{
+		"commit abc123",
+		"+10.0%", // 1000 -> 1100 ns/op
+		"+2",     // 5 -> 7 allocs/op
+		"(removed)",
+		"(new)",
+		"BenchmarkFresh",
+		"1 benchmark(s) changed allocs/op",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffFilesBadPath(t *testing.T) {
+	var sb strings.Builder
+	if _, err := diffFiles(&sb, "/nonexistent/old.json", "/nonexistent/new.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

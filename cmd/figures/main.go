@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 
 	"stashsim/internal/fault"
 	"stashsim/internal/harness"
+	"stashsim/internal/sim"
 	"stashsim/internal/stats"
 	"stashsim/internal/viz"
 )
@@ -59,6 +61,7 @@ func main() {
 	outages := flag.String("link-outage", "", "outage windows (link@start-end, comma separated) injected into every experiment network")
 	stashFails := flag.String("stash-fail", "", "stash-bank failures (switch.port@cycle, comma separated) injected into every experiment network")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep-level worker pool fanning out independent design points (tables are identical for any value)")
+	profileExec := flag.Bool("profile-exec", false, "profile per-phase executor time across every experiment network; report to stderr and, with -out, exec_profile.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -104,6 +107,14 @@ func main() {
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
+	}
+	var prof *sim.ExecProfiler
+	if *profileExec {
+		// One lane: experiment networks run serially (parallelism here is
+		// sweep-level), so a shared single-lane profiler aggregates phase
+		// time across every design point of every selected experiment.
+		prof = sim.NewExecProfiler(1, 0)
+		o.ExecProfiler = prof
 	}
 	if *faultPlan != "" || *dropRate > 0 || *outages != "" || *stashFails != "" {
 		plan := &fault.Plan{Seed: *seed}
@@ -246,4 +257,19 @@ func main() {
 		show("Faults: recovery latency, stash-local vs source-endpoint resend", t)
 		return nil
 	})
+
+	if prof != nil {
+		rep := prof.Report()
+		fmt.Fprint(os.Stderr, rep.Text())
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatalf("exec profile: %v", err)
+			}
+			path := filepath.Join(*out, "exec_profile.json")
+			if err := os.WriteFile(path, rep.JSON(), 0o644); err != nil {
+				log.Fatalf("exec profile: %v", err)
+			}
+			log.Printf("exec profile written to %s", path)
+		}
+	}
 }

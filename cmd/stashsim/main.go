@@ -28,6 +28,8 @@ import (
 
 	"stashsim/internal/core"
 	"stashsim/internal/metrics"
+	"stashsim/internal/sim"
+	"stashsim/internal/telemetry"
 )
 
 // runSummary is the -json output schema.
@@ -56,6 +58,7 @@ type runSummary struct {
 	TraceEvents   int               `json:"trace_events,omitempty"`
 	TraceDropped  int64             `json:"trace_dropped,omitempty"`
 	WatchdogStall int64             `json:"watchdog_stalls"`
+	ExecProfile   *sim.ExecReport   `json:"exec_profile,omitempty"`
 	Artifacts     map[string]string `json:"artifacts,omitempty"`
 }
 
@@ -123,6 +126,9 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", 0, "occupancy sampling interval in cycles (0 = off)")
 	sampleOut := flag.String("sample-out", "occupancy.csv", "occupancy sample CSV output file (with -sample-every)")
 	watchdog := flag.Int64("watchdog", 0, "zero-delivery stall window in cycles (0 = off); dumps non-idle switch state")
+	profileExec := flag.Bool("profile-exec", false, "profile the cycle executor (per-worker phase/barrier timing); prints a report and adds exec_profile to -json")
+	serveAddr := flag.String("serve", "", "serve live telemetry on this address (/metrics, /snapshot, /healthz, /debug/pprof), e.g. :9100")
+	flightRows := flag.Int("flight", 0, "flight recorder ring size in cycles (0 = off; auto 4096 with -serve or -watchdog); dumped on stalls and SIGQUIT")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run summary as JSON on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -170,7 +176,50 @@ func main() {
 		n.AttachWatchdog(*watchdog, os.Stderr)
 	}
 
+	// Observability extras. None of these mutate simulation state, so
+	// -json output stays byte-identical with or without them (enforced by
+	// TestServeDeterminism). The profiler must attach after SetWorkers so
+	// its lane count matches the executor's.
+	if sp.Workers > 1 {
+		n.SetWorkers(sp.Workers)
+	}
+	defer n.Close()
+	var prof *sim.ExecProfiler
+	if *profileExec {
+		ring := 0
+		if *traceChrome != "" {
+			ring = 4096 // retain raw lane timings for the Chrome executor lanes
+		}
+		prof = n.EnableExecProfile(ring)
+	}
+	rows := *flightRows
+	if rows == 0 && (*serveAddr != "" || *watchdog > 0) {
+		rows = 4096
+	}
+	if rows > 0 {
+		n.AttachFlight(rows)
+		stopDumps := telemetry.NotifyDumps(os.Stderr, func(w io.Writer) {
+			fmt.Fprintf(w, "--- SIGQUIT dump at cycle %d ---\n", n.CyclesDone())
+			n.Flight.Dump(w, 64)
+			n.DumpNonIdle(w)
+		})
+		defer stopDumps()
+	}
+	var pub *telemetry.Publisher
+	var tsrv *telemetry.Server
+	if *serveAddr != "" {
+		pub = n.AttachTelemetry(64)
+		tsrv = &telemetry.Server{Registry: reg, Publisher: pub, Watchdog: n.Watchdog}
+		addr, err := tsrv.Start(*serveAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(out, "telemetry: http://%s (/metrics /snapshot /healthz /debug/pprof)\n", addr)
+	}
+
 	s := sp.run(n)
+	pub.Publish() // final snapshot so late scrapes see the end-of-run state
 
 	artifacts := map[string]string{}
 	cfg := n.Cfg
@@ -232,7 +281,15 @@ func main() {
 			fmt.Fprintf(out, "trace: %d events (%d dropped) -> %s\n", tracer.Len(), tracer.Dropped(), *traceOut)
 		}
 		if *traceChrome != "" {
-			if err := writeFileWith(*traceChrome, tracer.WriteChromeTrace); err != nil {
+			// With -profile-exec, the executor's worker/phase lanes ride
+			// along in the same trace file (pid 2).
+			err := writeFileWith(*traceChrome, func(w io.Writer) error {
+				if prof != nil {
+					return tracer.WriteChromeTraceWith(w, prof.ChromeEvents)
+				}
+				return tracer.WriteChromeTrace(w)
+			})
+			if err != nil {
 				fatalf("trace-chrome: %v", err)
 			}
 			artifacts["trace_chrome"] = *traceChrome
@@ -252,6 +309,9 @@ func main() {
 	}
 	if n.Watchdog != nil && n.Watchdog.Suppressed > 0 {
 		fmt.Fprintf(out, "watchdog: %d zero-delivery window(s) explained by fault outages\n", n.Watchdog.Suppressed)
+	}
+	if prof != nil {
+		fmt.Fprintf(out, "\n%s", prof.Report().Text())
 	}
 
 	if *memprofile != "" {
@@ -284,6 +344,9 @@ func main() {
 		}
 		if n.Watchdog != nil {
 			s.WatchdogStall = n.Watchdog.Stalls
+		}
+		if prof != nil {
+			s.ExecProfile = prof.Report()
 		}
 		if len(artifacts) > 0 {
 			s.Artifacts = artifacts

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"stashsim/internal/metrics"
+	"stashsim/internal/telemetry"
 )
 
 // runJSON builds and runs the spec and returns the summary marshalled
@@ -125,5 +128,47 @@ func TestBadPresetRejected(t *testing.T) {
 		if _, err := sp.build(); err != nil {
 			t.Fatalf("preset %q rejected: %v", ok, err)
 		}
+	}
+}
+
+// TestObservabilityNeutralDeterminism mirrors the -serve/-profile-exec
+// wiring: a run with the profiler, flight recorder, telemetry publisher
+// and live HTTP server all attached must produce a -json summary
+// byte-identical to a bare serial run of the same spec.
+func TestObservabilityNeutralDeterminism(t *testing.T) {
+	sp := simSpec{
+		Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.35, MsgPkts: 1,
+		Cycles: 3000, Warmup: 500, Seed: 21,
+	}
+	bare := runJSON(t, sp)
+
+	wiredSpec := sp
+	wiredSpec.Workers = 2
+	n, err := wiredSpec.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	reg := metrics.NewRegistry()
+	n.EnableMetrics(reg)
+	n.SetWorkers(wiredSpec.Workers)
+	n.EnableExecProfile(128)
+	n.AttachFlight(1024)
+	pub := n.AttachTelemetry(64)
+	srv := &telemetry.Server{Registry: reg, Publisher: pub}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s := wiredSpec.run(n)
+	// The summary's metrics map is populated by main only when -metrics is
+	// set, so the structs compare cleanly here.
+	wired, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, wired) {
+		t.Fatalf("observability wiring changed the summary:\n--- bare ---\n%s\n--- wired ---\n%s", bare, wired)
 	}
 }

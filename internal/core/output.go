@@ -175,6 +175,7 @@ func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
 	if !any {
 		// Flits are queued but every occupied VC is blocked on downstream
 		// credits: a credit-stall cycle on this output.
+		s.CreditStallCycles++
 		s.m.creditStalls.Inc()
 		return
 	}

@@ -164,6 +164,14 @@ type Switch struct {
 	router *route.Router
 	rng    *sim.RNG
 
+	// CreditStallCycles counts output cycles stalled with flits queued but
+	// no downstream credits. It is a plain always-on tap for the flight
+	// recorder (the metrics counter equivalent only exists when a registry
+	// is attached) and is deliberately NOT part of Counters, whose JSON
+	// shape is pinned by the golden tests. Written only by this switch's
+	// Step; read from the serial PostCycle hook.
+	CreditStallCycles int64
+
 	radix int
 	in    []inPort
 	out   []outPort

@@ -13,6 +13,7 @@ import (
 	"stashsim/internal/core"
 	"stashsim/internal/fault"
 	"stashsim/internal/network"
+	"stashsim/internal/sim"
 	"stashsim/internal/stats"
 )
 
@@ -47,6 +48,13 @@ type Options struct {
 	// point's output lands in an index-addressed slot and tables are
 	// assembled in index order (see forEachPoint).
 	Workers int
+
+	// ExecProfiler, when non-nil, is attached to every experiment network
+	// (the -profile-exec flag of cmd/figures). Experiment networks run
+	// their cycles serially — the parallelism above is sweep-level — so a
+	// single one-lane profiler aggregates phase timings across every
+	// design point; its recording is atomic, safe for concurrent points.
+	ExecProfiler *sim.ExecProfiler
 
 	// logMu serializes Log calls from concurrent design points.
 	logMu sync.Mutex
@@ -169,6 +177,9 @@ func (o *Options) mustNet(cfg *core.Config) *network.Network {
 			every = 64
 		}
 		n.EnableInvariants(every)
+	}
+	if o.ExecProfiler != nil {
+		n.SetExecProfiler(o.ExecProfiler)
 	}
 	return n
 }

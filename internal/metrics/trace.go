@@ -162,6 +162,18 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	return t.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with an extension point: when
+// extra is non-nil it is invoked with the trace's emit function after the
+// packet events, letting other subsystems (the executor profiler's
+// worker/phase lanes on pid 2) append events to the same trace file with
+// correct comma separation.
+func (t *Tracer) WriteChromeTraceWith(w io.Writer, extra func(emit func(format string, args ...any) error) error) error {
+	if t == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`+"\n"); err != nil {
 		return err
@@ -204,6 +216,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if err := emit(`{"name":%q,"cat":"lifecycle","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":%s}`,
 			ev.Kind.String(), ev.Time, pid, ev.Node, args); err != nil {
+			return err
+		}
+	}
+	if extra != nil {
+		if err := extra(emit); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Watchdog detects zero-delivery windows: if a full Window of cycles
@@ -37,10 +38,22 @@ type Watchdog struct {
 	windowStart   int64
 	started       bool
 	lastDelivered int64
+	stalled       atomic.Bool
 	// Stalls counts detected zero-delivery windows.
 	Stalls int64
 	// Suppressed counts zero-delivery windows explained away by Note.
 	Suppressed int64
+}
+
+// Stalled reports whether the most recent completed window was an
+// unexplained zero-delivery window. It is the /healthz liveness signal
+// and is safe to read from a scraping goroutine while the simulation
+// runs; it clears as soon as a window sees deliveries again.
+func (w *Watchdog) Stalled() bool {
+	if w == nil {
+		return false
+	}
+	return w.stalled.Load()
 }
 
 // Observe advances the watchdog to cycle now.
@@ -58,10 +71,14 @@ func (w *Watchdog) Observe(now int64) {
 		return
 	}
 	d := w.Delivered()
+	if d != w.lastDelivered || w.Pending == nil || !w.Pending() {
+		w.stalled.Store(false)
+	}
 	if d == w.lastDelivered && w.Pending != nil && w.Pending() {
 		if w.Note != nil {
 			if note := w.Note(w.windowStart, now); note != "" {
 				w.Suppressed++
+				w.stalled.Store(false)
 				if w.Out != nil {
 					fmt.Fprintf(w.Out, "watchdog: no deliveries in %d cycles at cycle %d, explained: %s\n",
 						w.Window, now, note)
@@ -72,6 +89,7 @@ func (w *Watchdog) Observe(now int64) {
 			}
 		}
 		w.Stalls++
+		w.stalled.Store(true)
 		max := w.MaxDumps
 		if max == 0 {
 			max = 3

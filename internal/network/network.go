@@ -6,6 +6,7 @@ package network
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"stashsim/internal/core"
 	"stashsim/internal/endpoint"
@@ -13,6 +14,7 @@ import (
 	"stashsim/internal/metrics"
 	"stashsim/internal/proto"
 	"stashsim/internal/sim"
+	"stashsim/internal/telemetry"
 	"stashsim/internal/topo"
 )
 
@@ -38,6 +40,20 @@ type Network struct {
 	Sampler  *metrics.Sampler
 	Watchdog *metrics.Watchdog
 
+	// Profiler, when non-nil (EnableExecProfile / SetExecProfiler),
+	// receives per-worker per-phase executor timings; it also routes Run
+	// through the executor on the serial path so single-worker runs are
+	// profiled too.
+	Profiler *sim.ExecProfiler
+
+	// Flight, when non-nil (AttachFlight), records per-cycle aggregate
+	// deltas into a ring dumped by the watchdog and SIGQUIT.
+	Flight *metrics.FlightRecorder
+
+	// Telemetry, when non-nil (AttachTelemetry), republishes a quiescent
+	// snapshot for the live HTTP server at its publication interval.
+	Telemetry *telemetry.Publisher
+
 	// Invariants, when non-nil (EnableInvariants), audits the
 	// conservation laws at the end of each Step.
 	Invariants *core.Invariants
@@ -53,6 +69,12 @@ type Network struct {
 	// the lazily built parallel executor over all endpoints and switches.
 	workers int
 	exec    *sim.Executor
+
+	// cycleDone counts completed cycles, stored from the serial postCycle
+	// hook. Unlike Now — which the executor path writes back only when Run
+	// returns — it is current mid-run, and atomic so the SIGQUIT handler
+	// and telemetry snapshots read it from other goroutines safely.
+	cycleDone atomic.Int64
 }
 
 // New builds and wires a network from the configuration.
@@ -215,7 +237,13 @@ func (n *Network) AttachWatchdog(window int64, out io.Writer) *metrics.Watchdog 
 			}
 			return false
 		},
-		Dump: n.DumpNonIdle,
+		// Compose the dump at call time so a flight recorder attached in
+		// either order (before or after the watchdog) contributes its
+		// recent-cycle table; Dump on a nil recorder is a no-op.
+		Dump: func(w io.Writer) {
+			n.Flight.Dump(w, 64)
+			n.DumpNonIdle(w)
+		},
 	}
 	if n.Injector != nil {
 		w.Note = n.Injector.OutageNote
@@ -307,9 +335,12 @@ func (n *Network) preCycle(now sim.Tick) {
 // executor it runs serially at the cycle barrier (the coordinator's
 // PostCycle hook), so the probes see a quiescent network.
 func (n *Network) postCycle(now sim.Tick) {
+	n.cycleDone.Store(int64(now) + 1)
+	n.Flight.Record(int64(now)) // before the watchdog so stall dumps include this cycle
 	n.Sampler.MaybeSample(now)
 	n.Watchdog.Observe(now)
 	n.Invariants.Check(now)
+	n.Telemetry.MaybePublish(int64(now))
 }
 
 // Step advances the whole network one cycle on the calling goroutine.
@@ -359,6 +390,8 @@ func (n *Network) executor() *sim.Executor {
 		n.exec = sim.NewExecutor(comps, n.workers)
 		n.exec.PreCycle = n.preCycle
 		n.exec.PostCycle = n.postCycle
+		n.exec.SplitAt = len(n.Endpoints)
+		n.exec.Profiler = n.Profiler
 	}
 	return n.exec
 }
@@ -378,7 +411,9 @@ func (n *Network) Run(cycles int64) {
 	if cycles <= 0 {
 		return
 	}
-	if n.workers > 1 {
+	// A profiled serial run also routes through the executor, whose
+	// instrumented serial path times the hooks and both work sub-phases.
+	if n.workers > 1 || n.Profiler != nil {
 		from := n.Now
 		n.executor().Run(from, from+sim.Tick(cycles))
 		n.Now = from + sim.Tick(cycles)

@@ -160,3 +160,81 @@ func TestWatchdogQuietOnHealthyRun(t *testing.T) {
 		t.Fatalf("healthy run raised %d watchdog stalls:\n%s", n.Watchdog.Stalls, out.String())
 	}
 }
+
+// TestExecProfileAndFlightEndToEnd wires the stall profiler and flight
+// recorder into a real run and checks they agree with the simulation:
+// profiled cycles match the run length, the flight tail's delivery deltas
+// sum near the endpoint totals, and the telemetry snapshot ties it all
+// together. It also pins the determinism guarantee: a profiled parallel
+// run must produce the same outcomes as a bare serial one.
+func TestExecProfileAndFlightEndToEnd(t *testing.T) {
+	build := func() *Network {
+		cfg := core.TinyConfig()
+		cfg.Mode = core.StashE2E
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rng := sim.NewRNG(42)
+		rate := n.ChannelRate()
+		for _, ep := range n.Endpoints {
+			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				0.3, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+		}
+		return n
+	}
+
+	const cycles = 8000
+	bare := build()
+	bare.Run(cycles)
+
+	n := build()
+	defer n.Close()
+	reg := metrics.NewRegistry()
+	n.EnableMetrics(reg)
+	n.SetWorkers(2)
+	prof := n.EnableExecProfile(64)
+	flight := n.AttachFlight(512)
+	n.AttachTelemetry(128)
+	n.Run(cycles)
+
+	wantC, _ := json.Marshal(bare.Counters())
+	gotC, _ := json.Marshal(n.Counters())
+	if string(wantC) != string(gotC) {
+		t.Fatalf("profiled parallel run diverged:\nbare:     %s\nprofiled: %s", wantC, gotC)
+	}
+
+	rep := prof.Report()
+	if rep.Cycles != cycles {
+		t.Fatalf("profiler saw %d cycles, want %d", rep.Cycles, cycles)
+	}
+	if rep.Attribution.AttributedPct < 90 {
+		t.Fatalf("attribution only %.1f%% of wall", rep.Attribution.AttributedPct)
+	}
+	if len(prof.Recent()) == 0 {
+		t.Fatal("profiler ring empty")
+	}
+
+	if flight.Len() != 512 {
+		t.Fatalf("flight retained %d rows, want 512", flight.Len())
+	}
+	rows := flight.Snapshot(0)
+	var deltaSum int64
+	for _, row := range rows {
+		deltaSum += row[1] // "delivered" column
+	}
+	if deltaSum <= 0 || deltaSum > n.TotalDeliveredFlits() {
+		t.Fatalf("flight delivery deltas sum %d vs total %d", deltaSum, n.TotalDeliveredFlits())
+	}
+
+	snap := n.TelemetrySnapshot()
+	if snap.Cycle != cycles || snap.ExecProfile == nil || snap.Flight == nil {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	if snap.DeliveredFlits != n.TotalDeliveredFlits() {
+		t.Fatalf("snapshot flits %d, want %d", snap.DeliveredFlits, n.TotalDeliveredFlits())
+	}
+	if snap.CreditStallCycles != n.TotalCreditStallCycles() {
+		t.Fatalf("snapshot credit stalls %d, want %d", snap.CreditStallCycles, n.TotalCreditStallCycles())
+	}
+}

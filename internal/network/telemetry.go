@@ -1,0 +1,147 @@
+package network
+
+import (
+	"stashsim/internal/metrics"
+	"stashsim/internal/sim"
+	"stashsim/internal/telemetry"
+)
+
+// This file wires the observability-layer extras introduced with the
+// executor profiler and the live telemetry server: all opt-in, all nil
+// (disabled) by default, and none of them mutate simulation state — so
+// -json output is byte-identical with or without them.
+
+// EnableExecProfile creates and attaches an executor stall profiler sized
+// for the network's current worker count (call after SetWorkers).
+// ringCycles > 0 additionally retains the most recent ringCycles cycles
+// of raw lane timings for the Chrome trace export. Must be called before
+// the first Run so the lazily built executor picks it up.
+func (n *Network) EnableExecProfile(ringCycles int) *sim.ExecProfiler {
+	w := n.workers
+	if w < 1 {
+		w = 1
+	}
+	p := sim.NewExecProfiler(w, ringCycles)
+	n.SetExecProfiler(p)
+	return p
+}
+
+// SetExecProfiler attaches an existing profiler (the figures harness
+// shares one across every sweep network so the totals aggregate). The
+// profiler's worker count must match this network's for the parallel
+// path; a mismatched profiler still profiles serial runs.
+func (n *Network) SetExecProfiler(p *sim.ExecProfiler) {
+	n.Profiler = p
+	p.SetPhaseLabels("endpoints", "switches")
+	if n.exec != nil {
+		n.exec.Close()
+		n.exec = nil
+	}
+}
+
+// CyclesDone reports completed simulation cycles. It is safe to call
+// from any goroutine at any time, and — unlike Now, which the executor
+// path writes back only when Run returns — it is current mid-run.
+func (n *Network) CyclesDone() int64 { return n.cycleDone.Load() }
+
+// TotalCreditStallCycles sums the always-on credit-stall tap across
+// switches (output cycles with flits queued but no downstream credits).
+func (n *Network) TotalCreditStallCycles() int64 {
+	var total int64
+	for _, s := range n.Switches {
+		total += s.CreditStallCycles
+	}
+	return total
+}
+
+// TotalDeliveredFlits sums flits received at endpoints over the whole
+// run (not gated by measurement warmup, unlike the collector view).
+func (n *Network) TotalDeliveredFlits() int64 {
+	var total int64
+	for _, ep := range n.Endpoints {
+		total += ep.RecvFlits
+	}
+	return total
+}
+
+// AttachFlight installs a flight recorder retaining the last `rows`
+// cycles of aggregate deltas: deliveries, stash stores/retrieves, credit
+// stalls (per-cycle deltas) and stash occupancy plus injection backlog
+// (absolute gauges). Recorded once per cycle from the serial PostCycle
+// hook; dumped by the watchdog on stalls and by SIGQUIT.
+func (n *Network) AttachFlight(rows int) *metrics.FlightRecorder {
+	f := metrics.NewFlightRecorder(rows,
+		metrics.FlightField{Name: "delivered", Read: n.TotalDeliveredFlits},
+		metrics.FlightField{Name: "stash.stores", Read: func() int64 {
+			var t int64
+			for _, s := range n.Switches {
+				t += s.Counters.StashStores
+			}
+			return t
+		}},
+		metrics.FlightField{Name: "stash.retrieves", Read: func() int64 {
+			var t int64
+			for _, s := range n.Switches {
+				t += s.Counters.StashRetrieves
+			}
+			return t
+		}},
+		metrics.FlightField{Name: "credit.stalls", Read: n.TotalCreditStallCycles},
+		metrics.FlightField{Name: "stash.used", Gauge: true, Read: func() int64 {
+			return int64(n.TotalStashUsed())
+		}},
+		metrics.FlightField{Name: "inject.backlog", Gauge: true, Read: n.TotalQueuedFlits},
+	)
+	n.Flight = f
+	return f
+}
+
+// TelemetrySnapshot captures the full quiescent view the live server
+// publishes: counters, delivery totals, fault and watchdog state, the
+// executor profile, every registered gauge, and the flight recorder
+// tail. Call only while the network is quiescent (the publisher's Build
+// hook runs in PostCycle; CLIs also call it after a run).
+func (n *Network) TelemetrySnapshot() *telemetry.Snapshot {
+	s := &telemetry.Snapshot{
+		Cycle:             n.CyclesDone(),
+		Counters:          n.Counters(),
+		DeliveredFlits:    n.TotalDeliveredFlits(),
+		QueuedFlits:       n.TotalQueuedFlits(),
+		StashUsed:         n.TotalStashUsed(),
+		CreditStallCycles: n.TotalCreditStallCycles(),
+	}
+	s.InjectedPkts, s.DeliveredPkts, s.DupPkts, s.AbandonedPkts = n.DeliveryTotals()
+	if n.Injector != nil {
+		fs := n.FaultStats()
+		s.Fault = &fs
+	}
+	if n.Watchdog != nil {
+		s.Watchdog = &telemetry.WatchdogState{
+			Stalled:    n.Watchdog.Stalled(),
+			Stalls:     n.Watchdog.Stalls,
+			Suppressed: n.Watchdog.Suppressed,
+		}
+	}
+	if n.Profiler != nil {
+		s.ExecProfile = n.Profiler.Report()
+	}
+	for _, g := range n.Metrics.GaugeSamples() {
+		s.Gauges = append(s.Gauges, telemetry.GaugeSample{Scope: g.Scope, Name: g.Name, Value: g.Value})
+	}
+	if n.Flight != nil {
+		s.Flight = &telemetry.FlightTail{
+			Fields: n.Flight.FieldNames(),
+			Rows:   n.Flight.Snapshot(64),
+		}
+	}
+	return s
+}
+
+// AttachTelemetry creates and attaches a snapshot publisher over
+// TelemetrySnapshot, refreshed every `every` cycles from the PostCycle
+// hook. The returned publisher feeds a telemetry.Server.
+func (n *Network) AttachTelemetry(every int64) *telemetry.Publisher {
+	p := telemetry.NewPublisher(n.TelemetrySnapshot, every)
+	n.Telemetry = p
+	return p
+}

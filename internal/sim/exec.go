@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stepper is a simulation component advanced once per cycle. Components may
 // communicate only through latency>=1 channels, which gives the parallel
@@ -22,6 +25,11 @@ type Stepper interface {
 // singletons such as fault injection (pre) and samplers, watchdogs and
 // invariant audits (post). Both hooks are optional.
 //
+// Between Runs the workers park at the cycle-entry barrier, so the steady
+// state is channel-free: the coordinator publishes the cycle number with an
+// atomic store, and the barrier's own release edge orders that store before
+// any worker reads it. No per-Run or per-cycle allocation occurs.
+//
 // Results are identical to serial execution for any worker count: each
 // component is pinned to one partition (so its private state is touched by
 // exactly one goroutine), the one-cycle-lookahead rule makes intra-cycle
@@ -39,18 +47,27 @@ type Executor struct {
 	// stepped a cycle. Set before the first Run.
 	PostCycle func(now Tick)
 
+	// SplitAt divides the component list into two profiled work
+	// sub-phases: components[:SplitAt] are phase A, the rest phase B (the
+	// network sets this to its endpoint count). Purely observational — it
+	// does not change step order. Set before the first Run; 0 means all
+	// work is phase B.
+	SplitAt int
+
+	// Profiler, when non-nil, receives per-worker per-phase cycle timings.
+	// Set before the first Run. A profiler built for a different worker
+	// count than this executor's is ignored on the parallel path.
+	Profiler *ExecProfiler
+
 	// serial fast path
 	all []Stepper
+
+	cur  atomic.Int64 // cycle the workers are released into
+	quit atomic.Bool  // set by Close; workers observe it at the entry barrier
 
 	mu      sync.Mutex
 	started bool
 	closed  bool
-	cmd     chan execCmd
-	done    chan struct{}
-}
-
-type execCmd struct {
-	from, to Tick
 }
 
 // NewExecutor builds an executor over the given components. workers <= 1
@@ -71,10 +88,18 @@ func NewExecutor(components []Stepper, workers int) *Executor {
 			e.parts[w] = append(e.parts[w], c)
 		}
 		e.barrier = NewBarrier(workers + 1)
-		e.cmd = make(chan execCmd)
-		e.done = make(chan struct{})
 	}
 	return e
+}
+
+// aCount returns how many of partition w's components fall below SplitAt.
+// Round-robin partitioning preserves relative order, so a partition's
+// phase-A components are exactly its leading ones.
+func (e *Executor) aCount(w int) int {
+	if e.SplitAt <= w {
+		return 0
+	}
+	return (e.SplitAt - w + e.workers - 1) / e.workers
 }
 
 // Run advances all components from cycle `from` (inclusive) to `to`
@@ -85,6 +110,57 @@ func (e *Executor) Run(from, to Tick) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.workers <= 1 || e.closed {
+		e.runSerial(from, to)
+		return
+	}
+	if !e.started {
+		e.started = true
+		prof := e.Profiler
+		if prof != nil && prof.Workers() != e.workers {
+			prof = nil
+		}
+		for w := 0; w < e.workers; w++ {
+			go e.worker(w, e.parts[w], e.aCount(w), prof)
+		}
+	}
+	prof := e.Profiler
+	if prof != nil && prof.Workers() != e.workers {
+		prof = nil
+	}
+	for now := from; now < to; now++ {
+		if prof == nil {
+			if e.PreCycle != nil {
+				e.PreCycle(now)
+			}
+			e.cur.Store(int64(now))
+			e.barrier.Wait() // release workers into cycle `now`
+			e.barrier.Wait() // every component has stepped `now`
+			if e.PostCycle != nil {
+				e.PostCycle(now)
+			}
+			continue
+		}
+		t0 := nowNS()
+		if e.PreCycle != nil {
+			e.PreCycle(now)
+		}
+		t1 := nowNS()
+		e.cur.Store(int64(now))
+		e.barrier.Wait()
+		e.barrier.Wait()
+		t2 := nowNS()
+		if e.PostCycle != nil {
+			e.PostCycle(now)
+		}
+		t3 := nowNS()
+		prof.recCoord(int64(now), t0, t1-t0, t2-t1, t3-t2)
+	}
+}
+
+// runSerial is the single-goroutine path (workers <= 1, or after Close).
+func (e *Executor) runSerial(from, to Tick) {
+	prof := e.Profiler
+	if prof == nil {
 		for now := from; now < to; now++ {
 			if e.PreCycle != nil {
 				e.PreCycle(now)
@@ -98,56 +174,85 @@ func (e *Executor) Run(from, to Tick) {
 		}
 		return
 	}
-	if !e.started {
-		e.started = true
-		for w := 0; w < e.workers; w++ {
-			go e.worker(e.parts[w])
-		}
+	split := e.SplitAt
+	if split < 0 {
+		split = 0
 	}
-	for w := 0; w < e.workers; w++ {
-		e.cmd <- execCmd{from, to}
+	if split > len(e.all) {
+		split = len(e.all)
 	}
 	for now := from; now < to; now++ {
+		t0 := nowNS()
 		if e.PreCycle != nil {
 			e.PreCycle(now)
 		}
-		e.barrier.Wait() // release workers into cycle `now`
-		e.barrier.Wait() // every component has stepped `now`
+		t1 := nowNS()
+		for _, c := range e.all[:split] {
+			c.Step(now)
+		}
+		t2 := nowNS()
+		for _, c := range e.all[split:] {
+			c.Step(now)
+		}
+		t3 := nowNS()
 		if e.PostCycle != nil {
 			e.PostCycle(now)
 		}
-	}
-	for w := 0; w < e.workers; w++ {
-		<-e.done
+		t4 := nowNS()
+		prof.recSerial(int64(now), t0, t1-t0, t2-t1, t3-t2, t4-t3)
 	}
 }
 
-func (e *Executor) worker(mine []Stepper) {
-	for cmd := range e.cmd {
-		for now := cmd.from; now < cmd.to; now++ {
+// worker is the long-lived loop for one partition. It parks at the
+// cycle-entry barrier between cycles (and between Runs) and exits when
+// Close releases it with quit set.
+func (e *Executor) worker(lane int, mine []Stepper, aCount int, prof *ExecProfiler) {
+	for {
+		if prof == nil {
 			e.barrier.Wait() // wait for the coordinator's PreCycle
+			if e.quit.Load() {
+				return
+			}
+			now := Tick(e.cur.Load())
 			for _, c := range mine {
 				c.Step(now)
 			}
 			e.barrier.Wait() // publish this cycle's writes
+			continue
 		}
-		e.done <- struct{}{}
+		t0 := nowNS()
+		e.barrier.Wait()
+		if e.quit.Load() {
+			return
+		}
+		now := Tick(e.cur.Load())
+		t1 := nowNS()
+		for _, c := range mine[:aCount] {
+			c.Step(now)
+		}
+		t2 := nowNS()
+		for _, c := range mine[aCount:] {
+			c.Step(now)
+		}
+		t3 := nowNS()
+		e.barrier.Wait()
+		t4 := nowNS()
+		prof.recWorker(int64(now), lane, t0, t1-t0, t2-t1, t3-t2, t4-t3)
 	}
 }
 
 // Close shuts down the worker goroutines. Calling Run after Close is safe:
 // it executes serially with identical results. Close is idempotent.
 func (e *Executor) Close() {
-	if e.cmd == nil {
-		return
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.closed {
-		e.closed = true
-		if e.started {
-			close(e.cmd)
-			e.started = false
-		}
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.started {
+		e.quit.Store(true)
+		e.barrier.Wait() // release parked workers; they observe quit and exit
+		e.started = false
 	}
 }

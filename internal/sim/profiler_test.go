@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPhaseHistRecording(t *testing.T) {
+	var h PhaseHist
+	for _, d := range []int64{100, 200, 300, 400, 1 << 20} {
+		h.rec(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if want := int64(100 + 200 + 300 + 400 + 1<<20); h.SumNS() != want {
+		t.Fatalf("sum %d, want %d", h.SumNS(), want)
+	}
+	if h.MaxNS() != 1<<20 {
+		t.Fatalf("max %d, want %d", h.MaxNS(), 1<<20)
+	}
+	if p99 := h.P99NS(); p99 < 1<<20 {
+		t.Fatalf("p99 %d should cover the max observation's bucket", p99)
+	}
+	h.rec(-5) // negative clamps, must not corrupt sums
+	if h.SumNS() < 0 || h.Count() != 6 {
+		t.Fatalf("negative duration mishandled: sum=%d count=%d", h.SumNS(), h.Count())
+	}
+}
+
+func TestPhaseHistP99Empty(t *testing.T) {
+	var h PhaseHist
+	if h.P99NS() != 0 {
+		t.Fatalf("empty hist p99 = %d, want 0", h.P99NS())
+	}
+}
+
+func TestExecProfilerSerial(t *testing.T) {
+	const comps, cycles = 6, 50
+	var steppers []Stepper
+	for i := 0; i < comps; i++ {
+		steppers = append(steppers, &countStepper{})
+	}
+	e := NewExecutor(steppers, 1)
+	e.SplitAt = 2
+	p := NewExecProfiler(1, 16)
+	p.SetPhaseLabels("endpoints", "switches")
+	e.Profiler = p
+	pre, post := 0, 0
+	e.PreCycle = func(Tick) { pre++ }
+	e.PostCycle = func(Tick) { post++ }
+	e.Run(0, cycles)
+	r := p.Report()
+	if r.Cycles != cycles {
+		t.Fatalf("cycles %d, want %d", r.Cycles, cycles)
+	}
+	if r.WallNS <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+	if got := p.Hist(0, PhaseWorkA).Count(); got != cycles {
+		t.Fatalf("work-a count %d, want %d", got, cycles)
+	}
+	if got := p.Hist(1, PhasePreHook).Count(); got != cycles {
+		t.Fatalf("pre-hook count %d, want %d", got, cycles)
+	}
+	if r.Attribution.AttributedPct < 95 {
+		t.Fatalf("serial attribution %.1f%%, want >= 95%%", r.Attribution.AttributedPct)
+	}
+	txt := r.Text()
+	for _, want := range []string{"endpoints", "switches", "pre-hook", "post-hook", "lane coord"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("text report missing %q:\n%s", want, txt)
+		}
+	}
+	var decoded ExecReport
+	if err := json.Unmarshal(r.JSON(), &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+}
+
+func TestExecProfilerParallel(t *testing.T) {
+	const comps, cycles, workers = 8, 40, 4
+	var steppers []Stepper
+	for i := 0; i < comps; i++ {
+		steppers = append(steppers, &countStepper{})
+	}
+	e := NewExecutor(steppers, workers)
+	e.SplitAt = 3
+	p := NewExecProfiler(workers, 8)
+	e.Profiler = p
+	e.Run(0, cycles)
+	e.Close()
+	r := p.Report()
+	if r.Cycles != cycles || r.Workers != workers {
+		t.Fatalf("report cycles=%d workers=%d", r.Cycles, r.Workers)
+	}
+	for w := 0; w < workers; w++ {
+		for _, ph := range []Phase{PhaseWorkA, PhaseWorkB, PhaseBarrierRelease, PhaseBarrierPublish} {
+			if got := p.Hist(w, ph).Count(); got != cycles {
+				t.Fatalf("worker %d phase %v count %d, want %d", w, ph, got, cycles)
+			}
+		}
+	}
+	// aCount distribution: SplitAt=3 over 4 partitions means workers 0-2
+	// lead with one phase-A component, worker 3 with none — observational
+	// only, but the report must attribute nearly all wall time.
+	if a := r.Attribution; a.AttributedPct < 90 || a.AttributedPct > 120 {
+		t.Fatalf("parallel attribution %.1f%% outside sanity band", a.AttributedPct)
+	}
+	recs := p.Recent()
+	if len(recs) == 0 {
+		t.Fatal("ring retained no records")
+	}
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
+		if b.Cycle < a.Cycle || (b.Cycle == a.Cycle && b.Lane <= a.Lane) {
+			t.Fatalf("ring records not sorted: %+v then %+v", a, b)
+		}
+	}
+}
+
+func TestExecProfilerMismatchedWorkersIgnored(t *testing.T) {
+	var steppers []Stepper
+	for i := 0; i < 6; i++ {
+		steppers = append(steppers, &countStepper{})
+	}
+	e := NewExecutor(steppers, 3)
+	e.Profiler = NewExecProfiler(2, 0) // wrong worker count: must be ignored
+	e.Run(0, 10)
+	e.Close()
+	if got := e.Profiler.Report().Cycles; got != 0 {
+		t.Fatalf("mismatched profiler recorded %d cycles, want 0", got)
+	}
+	for _, c := range steppers {
+		if got := len(c.(*countStepper).steps); got != 10 {
+			t.Fatalf("component stepped %d times, want 10", got)
+		}
+	}
+}
+
+func TestExecProfilerChromeEvents(t *testing.T) {
+	var steppers []Stepper
+	for i := 0; i < 4; i++ {
+		steppers = append(steppers, &countStepper{})
+	}
+	e := NewExecutor(steppers, 2)
+	e.SplitAt = 2
+	p := NewExecProfiler(2, 4)
+	p.SetPhaseLabels("endpoints", "switches")
+	e.Profiler = p
+	e.Run(0, 6)
+	e.Close()
+	var buf bytes.Buffer
+	err := p.ChromeEvents(func(format string, args ...any) error {
+		fmt.Fprintf(&buf, format, args...)
+		buf.WriteByte('\n')
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name":"executor"`, `"name":"coord"`, `"pid":2`, `"cat":"executor"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome events missing %s in:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("invalid JSON event: %s", line)
+		}
+	}
+}
+
+func TestExecProfilerNilSafe(t *testing.T) {
+	var p *ExecProfiler
+	p.SetPhaseLabels("a", "b")
+	if p.Workers() != 0 || p.Report() != nil || p.Recent() != nil {
+		t.Fatal("nil profiler accessors must be inert")
+	}
+	if err := p.ChromeEvents(nil); err != nil {
+		t.Fatal("nil profiler ChromeEvents must be a no-op")
+	}
+	var r *ExecReport
+	if r.Text() != "" || r.JSON() != nil {
+		t.Fatal("nil report renderers must be inert")
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"stashsim/internal/metrics"
+)
+
+// Server is the live telemetry HTTP server. All fields are optional: a
+// zero Server serves an empty exposition, a healthy /healthz and pprof.
+// Start it once the simulation's sinks are wired; it only ever reads.
+type Server struct {
+	// Registry supplies live counter series for /metrics.
+	Registry *metrics.Registry
+	// Publisher supplies the quiescent snapshot for /snapshot and the
+	// gauge/run-level series of /metrics.
+	Publisher *Publisher
+	// Watchdog drives /healthz: a current unexplained zero-delivery
+	// window reports 503.
+	Watchdog *metrics.Watchdog
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Handler returns the server's routes on a private mux (also used by the
+// httptest-based handler tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	samples := []metrics.Sample{{Name: "up", Value: 1, IsGauge: true}}
+	samples = append(samples, s.Publisher.Latest().PromSamples()...)
+	samples = append(samples, s.Registry.CounterSamples()...)
+	samples = append(samples, s.Registry.HistSamples()...)
+	metrics.WriteProm(w, samples)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.Publisher.Latest()
+	if snap == nil {
+		snap = &Snapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Watchdog.Stalled() {
+		http.Error(w, "stalled: zero-delivery window with work pending", http.StatusServiceUnavailable)
+		return
+	}
+	var cycle int64
+	if snap := s.Publisher.Latest(); snap != nil {
+		cycle = snap.Cycle
+	}
+	fmt.Fprintf(w, "ok cycle=%d\n", cycle)
+}
+
+// NotifyDumps installs a SIGQUIT handler that writes dump(w) on each
+// signal and keeps the process running — a post-mortem peek at a live
+// sim. It returns a stop function restoring default signal behavior.
+func NotifyDumps(w io.Writer, dump func(io.Writer)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case _, ok := <-ch:
+				if !ok {
+					return
+				}
+				dump(w)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,154 @@
+// Package telemetry serves live observability for a running simulation:
+// a stdlib-only HTTP server exposing the metrics registry in Prometheus
+// text exposition format, a JSON state snapshot, watchdog-driven
+// liveness, and pprof — the first concrete slice of simulation-as-a-
+// service.
+//
+// The design splits reads by safety class. Registry counters are atomic
+// and may be read at any instant, so /metrics reads them live. Gauges and
+// network aggregates walk unsynchronized component state, so they are
+// captured only from the serial PostCycle hook into an immutable Snapshot
+// published through an atomic pointer; the HTTP goroutine only ever loads
+// that pointer. The simulation therefore never blocks on a scrape, scrape
+// results never tear, and determinism is untouched (the server performs
+// no writes into simulation state). This package is intentionally outside
+// the determinism-linted set: it may use goroutines, time and the
+// network, and must never be imported by component code on the hot path —
+// the network integrates with it only through nil-safe hook calls.
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"stashsim/internal/core"
+	"stashsim/internal/fault"
+	"stashsim/internal/metrics"
+	"stashsim/internal/sim"
+)
+
+// WatchdogState is the liveness slice of a snapshot.
+type WatchdogState struct {
+	Stalled    bool  `json:"stalled"`
+	Stalls     int64 `json:"stalls"`
+	Suppressed int64 `json:"suppressed"`
+}
+
+// FlightTail is the flight recorder's recent-cycle table in a snapshot.
+type FlightTail struct {
+	Fields []string  `json:"fields"`
+	Rows   [][]int64 `json:"rows"`
+}
+
+// Snapshot is one immutable published view of the simulation, built in
+// the serial PostCycle hook (network quiescent) and handed to readers by
+// pointer. Everything in it is a copy; readers never chase live state.
+type Snapshot struct {
+	Cycle             int64           `json:"cycle"`
+	Counters          core.Counters   `json:"counters"`
+	InjectedPkts      int64           `json:"injected_pkts"`
+	DeliveredPkts     int64           `json:"delivered_pkts"`
+	DupPkts           int64           `json:"dup_pkts"`
+	AbandonedPkts     int64           `json:"abandoned_pkts"`
+	DeliveredFlits    int64           `json:"delivered_flits"`
+	QueuedFlits       int64           `json:"queued_flits"`
+	StashUsed         int             `json:"stash_used"`
+	CreditStallCycles int64           `json:"credit_stall_cycles"`
+	Fault             *fault.Stats    `json:"fault,omitempty"`
+	Watchdog          *WatchdogState  `json:"watchdog,omitempty"`
+	ExecProfile       *sim.ExecReport `json:"exec_profile,omitempty"`
+	Gauges            []GaugeSample   `json:"gauges,omitempty"`
+	Flight            *FlightTail     `json:"flight,omitempty"`
+}
+
+// GaugeSample is one captured gauge value (JSON-friendly mirror of
+// metrics.Sample).
+type GaugeSample struct {
+	Scope string  `json:"scope"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Publisher owns the snapshot hand-off between the simulation loop and
+// the HTTP goroutine. Build runs on the simulation side (PostCycle, so it
+// may walk live state freely); Latest is wait-free for readers. A nil
+// *Publisher is a no-op, so the network's hook call costs one branch when
+// telemetry is disabled.
+type Publisher struct {
+	build func() *Snapshot
+	every int64
+	cur   atomic.Pointer[Snapshot]
+}
+
+// NewPublisher returns a publisher that refreshes the snapshot every
+// `every` cycles (values below one are clamped to 64). It publishes an
+// initial snapshot immediately so readers never observe nil.
+func NewPublisher(build func() *Snapshot, every int64) *Publisher {
+	if every < 1 {
+		every = 64
+	}
+	p := &Publisher{build: build, every: every}
+	p.cur.Store(build())
+	return p
+}
+
+// MaybePublish refreshes the snapshot at the publication interval. Called
+// once per cycle from the serial PostCycle hook.
+func (p *Publisher) MaybePublish(now int64) {
+	if p == nil {
+		return
+	}
+	if now%p.every == 0 {
+		p.cur.Store(p.build())
+	}
+}
+
+// Publish forces an immediate refresh (end of run, signal dump).
+func (p *Publisher) Publish() {
+	if p == nil {
+		return
+	}
+	p.cur.Store(p.build())
+}
+
+// Latest returns the most recently published snapshot (nil only for a
+// nil publisher).
+func (p *Publisher) Latest() *Snapshot {
+	if p == nil {
+		return nil
+	}
+	return p.cur.Load()
+}
+
+// PromSamples flattens a snapshot into run-level exposition series:
+// progress counters plus every captured gauge. Registry counters are NOT
+// included — the server reads those live.
+func (s *Snapshot) PromSamples() []metrics.Sample {
+	if s == nil {
+		return nil
+	}
+	out := []metrics.Sample{
+		{Name: "cycle", Value: float64(s.Cycle), IsGauge: true},
+		{Name: "injected_pkts_total", Value: float64(s.InjectedPkts)},
+		{Name: "delivered_pkts_total", Value: float64(s.DeliveredPkts)},
+		{Name: "dup_pkts_total", Value: float64(s.DupPkts)},
+		{Name: "abandoned_pkts_total", Value: float64(s.AbandonedPkts)},
+		{Name: "delivered_flits_total", Value: float64(s.DeliveredFlits)},
+		{Name: "queued_flits", Value: float64(s.QueuedFlits), IsGauge: true},
+		{Name: "stash_used", Value: float64(s.StashUsed), IsGauge: true},
+		{Name: "credit_stall_cycles_total", Value: float64(s.CreditStallCycles)},
+	}
+	if s.Watchdog != nil {
+		stalled := 0.0
+		if s.Watchdog.Stalled {
+			stalled = 1
+		}
+		out = append(out,
+			metrics.Sample{Name: "watchdog_stalled", Value: stalled, IsGauge: true},
+			metrics.Sample{Name: "watchdog_stalls_total", Value: float64(s.Watchdog.Stalls)},
+		)
+	}
+	for _, g := range s.Gauges {
+		out = append(out, metrics.Sample{Scope: g.Scope, Name: g.Name, Value: g.Value, IsGauge: true})
+	}
+	return out
+}
