@@ -1,18 +1,22 @@
 // Command stashlint runs the project's analyzer suite (see
 // internal/analysis) over the module: determinism for the simulation
 // packages, nilsafe for the metrics handles, panicstyle for every
-// internal package.
+// internal package, phasecheck and atomiccheck for the executor's
+// concurrency contract, and allocfree for the //stashsim:noalloc hot
+// path.
 //
 // Usage:
 //
 //	stashlint [packages]       # defaults to ./...
 //	stashlint -list            # print the analyzers and their contracts
+//	stashlint -json [packages] # diagnostics as a JSON array on stdout
 //
 // Findings print as file:line:col: message [analyzer]; the exit status is
 // 1 when any finding survives its //lint:allow suppressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +24,19 @@ import (
 	"stashsim/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +57,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One directive index across every loaded package, so phase and
+	// noalloc annotations resolve over cross-package calls.
+	facts := analysis.BuildFacts(pkgs...)
+
+	diags := []jsonDiagnostic{}
 	findings := 0
 	for _, pkg := range pkgs {
 		for _, a := range analysis.All() {
@@ -49,14 +69,34 @@ func main() {
 				continue
 			}
 			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info)
+			pass.Facts = facts
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "stashlint: %s on %s: %v\n", a.Name, pkg.Path, err)
 				os.Exit(2)
 			}
 			for _, d := range pass.Diagnostics() {
-				fmt.Println(d)
+				if *asJSON {
+					diags = append(diags, jsonDiagnostic{
+						File:     d.Pos.Filename,
+						Line:     d.Pos.Line,
+						Column:   d.Pos.Column,
+						Message:  d.Message,
+						Analyzer: d.Analyzer,
+						Package:  pkg.Path,
+					})
+				} else {
+					fmt.Println(d)
+				}
 				findings++
 			}
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "stashlint: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	if findings > 0 {

@@ -13,6 +13,15 @@
 //     free (see nilsafe.go).
 //   - panicstyle: panics in internal packages must carry the "pkg: ..."
 //     constant-message format (see panicstyle.go).
+//   - phasecheck: the executor's two-phase concurrency contract, declared
+//     with //stashsim:phase and //stashsim:owner directives — serial-only
+//     state must be unreachable from the parallel phase (see phasecheck.go,
+//     directive.go).
+//   - atomiccheck: a field accessed through sync/atomic anywhere must be
+//     accessed atomically everywhere (see atomiccheck.go).
+//   - allocfree: functions marked //stashsim:noalloc must not contain
+//     allocating constructs, and their in-scope callees must be marked
+//     too (see allocfree.go).
 //
 // A finding is suppressed by a directive comment on the same line or the
 // line immediately above it:
@@ -61,6 +70,10 @@ type Pass struct {
 	// internal/sim goroutine exemption) are themselves testable.
 	PkgPath string
 	Info    *types.Info
+	// Facts is the module-wide //stashsim: directive index shared by every
+	// pass of a run so cross-package annotations resolve. When nil, the
+	// directive-driven analyzers lazily build single-package facts.
+	Facts *Facts
 
 	diags   []Diagnostic
 	allowed map[allowKey]bool
@@ -147,7 +160,7 @@ func (p *Pass) Diagnostics() []Diagnostic {
 
 // All returns the stashlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, NilSafe, PanicStyle}
+	return []*Analyzer{Determinism, NilSafe, PanicStyle, PhaseCheck, AtomicCheck, AllocFree}
 }
 
 // pathIn reports whether relPath equals one of the listed package paths or

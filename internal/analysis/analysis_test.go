@@ -57,6 +57,34 @@ func TestPanicStyleFixture(t *testing.T) {
 	runFixture(t, PanicStyle, "panicstyle", "stashsim/internal/panicfix")
 }
 
+func TestPhaseCheckFixture(t *testing.T) {
+	runFixture(t, PhaseCheck, "phasecheck", "stashsim/internal/phasefix")
+}
+
+// TestPhaseCheckClean asserts a correctly annotated package carries zero
+// findings (the fixture has no want comments, so any diagnostic fails).
+func TestPhaseCheckClean(t *testing.T) {
+	runFixture(t, PhaseCheck, "phasecheck_clean", "stashsim/internal/phasecleanfix")
+}
+
+func TestAtomicCheckFixture(t *testing.T) {
+	runFixture(t, AtomicCheck, "atomiccheck", "stashsim/internal/atomfix")
+}
+
+func TestAtomicCheckClean(t *testing.T) {
+	runFixture(t, AtomicCheck, "atomiccheck_clean", "stashsim/internal/atomcleanfix")
+}
+
+// TestAllocFreeFixture loads the fixture beneath internal/sim so the
+// in-scope callee-closure rule applies to it.
+func TestAllocFreeFixture(t *testing.T) {
+	runFixture(t, AllocFree, "allocfree", "stashsim/internal/sim/allocfix")
+}
+
+func TestAllocFreeClean(t *testing.T) {
+	runFixture(t, AllocFree, "allocfree_clean", "stashsim/internal/core/alloclean")
+}
+
 func TestScopes(t *testing.T) {
 	cases := []struct {
 		analyzer *Analyzer
@@ -73,6 +101,20 @@ func TestScopes(t *testing.T) {
 		{NilSafe, "internal/core", false},
 		{PanicStyle, "internal/buffer", true},
 		{PanicStyle, "cmd/stashsim", false},
+		{PhaseCheck, "internal/sim", true},
+		{PhaseCheck, "internal/core", true},
+		{PhaseCheck, "internal/metrics", true},
+		{PhaseCheck, "internal/telemetry", true},
+		{PhaseCheck, "internal/network", true},
+		{PhaseCheck, "internal/buffer", false},
+		{AtomicCheck, "internal/core", true},
+		{AtomicCheck, "cmd/stashsim", true},
+		{AtomicCheck, "internal/analysis", true},
+		{AllocFree, "internal/sim", true},
+		{AllocFree, "internal/buffer", true},
+		{AllocFree, "internal/proto", true},
+		{AllocFree, "internal/metrics", false},
+		{AllocFree, "cmd/stashsim", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Scope(c.rel); got != c.want {
@@ -93,12 +135,16 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Module-wide facts, as the stashlint driver builds them, so phase and
+	// noalloc annotations resolve across package boundaries.
+	facts := BuildFacts(pkgs...)
 	for _, pkg := range pkgs {
 		for _, a := range All() {
 			if pkg.Rel == "" || !a.Scope(pkg.Rel) {
 				continue
 			}
 			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info)
+			pass.Facts = facts
 			if err := a.Run(pass); err != nil {
 				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
 			}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomiccheck enforces all-or-nothing atomicity per field: once any code
+// in a package accesses a struct field through a sync/atomic function
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...), every
+// other access to that field must go through sync/atomic too. A plain
+// read racing an atomic write is still a data race, and it is exactly the
+// kind that creeps in when a counter is "just read for a log line". The
+// typed atomics (atomic.Int64 & friends) are immune by construction —
+// their value is unexported — and are the repo's preferred form; this
+// analyzer exists for the raw-pointer form so a future regression cannot
+// mix the two idioms on one field.
+//
+// The check is per package, which is exactly the visibility of an
+// unexported field; exported fields accessed raw-atomically across
+// packages would evade it, but the repo has none (and should grow none —
+// use a typed atomic).
+
+// AtomicCheck flags mixed plain/atomic access to one field.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc: "A field accessed via sync/atomic anywhere must be accessed atomically everywhere; " +
+		"mixed plain/atomic reads and writes race.",
+	Scope: func(relPath string) bool { return relPath != "" },
+	Run:   runAtomicCheck,
+}
+
+func runAtomicCheck(pass *Pass) error {
+	// Pass 1: find every field whose address feeds a sync/atomic call,
+	// remembering those selector nodes as sanctioned accesses.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := selectedField(pass.Info, sel); f != nil {
+					atomicFields[f] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a mixed access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := selectedField(pass.Info, sel)
+			if f == nil || !atomicFields[f] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed via sync/atomic elsewhere in this package; this plain access races with it (use sync/atomic here too, or a typed atomic)",
+				f.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package alloclean must carry zero allocfree findings: an annotated hot
+// path built from freelist-style reuse, self-assign appends, allowlisted
+// stdlib calls and struct value literals.
+package alloclean
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+type entry struct{ due, val int }
+
+type ring struct {
+	buf  []entry
+	head int
+	n    atomic.Int64
+}
+
+//stashsim:noalloc
+func (r *ring) push(e entry) {
+	r.buf = append(r.buf, e)
+	r.n.Add(1)
+}
+
+//stashsim:noalloc
+func (r *ring) pop() (entry, bool) {
+	if len(r.buf) == 0 {
+		return entry{}, false
+	}
+	e := r.buf[len(r.buf)-1]
+	r.buf = r.buf[:len(r.buf)-1]
+	return e, true
+}
+
+//stashsim:noalloc
+func (r *ring) occupancy() int {
+	return bits.OnesCount64(uint64(r.head))
+}
+
+//stashsim:noalloc
+func (r *ring) drain(dst []entry) []entry {
+	for {
+		e, ok := r.pop()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, e) // self-assign append: sanctioned, no finding
+	}
+}
+
+//stashsim:noalloc
+func guard(ok bool) {
+	if !ok {
+		panic("alloclean: ring invariant violated")
+	}
+}
+
+// Stepper's noalloc annotation is restated by the implementation.
+type Stepper interface {
+	//stashsim:noalloc
+	Step(now int)
+}
+
+type comp struct{ r ring }
+
+//stashsim:noalloc
+func (c *comp) Step(now int) {
+	c.r.push(entry{due: now})
+}

@@ -1,0 +1,35 @@
+// Package atomfix exercises atomiccheck: a field accessed through
+// sync/atomic anywhere must be accessed atomically everywhere.
+package atomfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) flush() int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+func (c *counters) peek() int64 {
+	return c.hits // want "field hits is accessed via sync/atomic elsewhere"
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "field hits is accessed via sync/atomic elsewhere"
+}
+
+func (c *counters) coldBump() {
+	c.cold++ // plain-only field: no finding
+}
+
+func (c *counters) peekJoined() int64 {
+	//lint:allow atomiccheck -- workers are joined; this read is single-threaded teardown
+	return c.hits
+}

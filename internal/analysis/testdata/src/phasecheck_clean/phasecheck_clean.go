@@ -1,0 +1,64 @@
+// Package phaseclean is a fully annotated package that must carry zero
+// phasecheck findings: every parallel-phase touch lands on owner-private,
+// atomic, parallel-safe or local state, and serial state stays behind the
+// serial hooks.
+package phaseclean
+
+import "sync/atomic"
+
+// inbox is parity-slot mediated: the producer writes slot now&1 while the
+// owner folds slot (now+1)&1, so concurrent-phase access is safe by
+// construction.
+//
+//stashsim:phase parallel
+type inbox struct {
+	slots [2][]int
+	n     int
+}
+
+// part is one partition; the type-level directive makes every field
+// owner-private unless overridden.
+//
+//stashsim:owner partition
+type part struct {
+	ring  []int
+	head  int
+	count atomic.Int64
+	in    inbox
+	//stashsim:phase serial -- read by the between-cycles audit only
+	auditNote string
+}
+
+//stashsim:phase parallel
+func (p *part) step(now int) {
+	p.head++
+	p.ring[p.head%len(p.ring)] = now
+	p.count.Add(1)
+	fold(&p.in, now)
+}
+
+// fold is unannotated and checked as part of step's closure.
+func fold(in *inbox, now int) {
+	in.slots[now&1] = in.slots[now&1][:0]
+	in.n++
+}
+
+//stashsim:phase serial
+func audit(p *part) string {
+	p.auditNote = "audited"
+	return p.auditNote
+}
+
+// Stepper's phase annotation follows into every implementation.
+type Stepper interface {
+	//stashsim:phase parallel
+	Step(now int)
+}
+
+type comp struct {
+	//stashsim:owner partition
+	ticks int
+}
+
+//stashsim:phase parallel
+func (c *comp) Step(now int) { c.ticks += now }

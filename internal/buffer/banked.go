@@ -36,6 +36,8 @@ const (
 // Request asks for one flit access on the given stream during cycle now.
 // It returns true and claims the stream's current bank when the access can
 // proceed this cycle.
+//
+//stashsim:noalloc
 func (m *BankedMem) Request(now int64, stream int) bool {
 	if m.Ideal {
 		m.Accesses++

@@ -54,14 +54,20 @@ func (d *DAMQ) Capacity() int { return d.capacity }
 func (d *DAMQ) Reserve() int { return d.reserve }
 
 // Used returns the total occupancy in flits.
+//
+//stashsim:noalloc
 func (d *DAMQ) Used() int { return d.used }
 
 // SharedFree returns the number of free shared-pool slots.
+//
+//stashsim:noalloc
 func (d *DAMQ) SharedFree() int {
 	return d.capacity - len(d.queues)*d.reserve - d.shared
 }
 
 // Avail returns the number of flits that could currently be enqueued on vc.
+//
+//stashsim:noalloc
 func (d *DAMQ) Avail(vc int) int {
 	return d.reserve - d.resvUsed[vc] + d.SharedFree()
 }
@@ -71,6 +77,8 @@ func (d *DAMQ) Avail(vc int) int {
 // the receiver honors that stamp so the two sides never drift even though
 // credit returns are delayed by the link latency. It panics on overflow,
 // which indicates a flow-control bug.
+//
+//stashsim:noalloc
 func (d *DAMQ) Push(f proto.Flit) bool {
 	vc := int(f.VC)
 	shared := f.Flags&proto.FlagShared != 0
@@ -93,6 +101,8 @@ func (d *DAMQ) Push(f proto.Flit) bool {
 
 // Pop dequeues the front flit of vc and returns it together with the credit
 // that must be sent upstream.
+//
+//stashsim:noalloc
 func (d *DAMQ) Pop(vc int) (proto.Flit, proto.Credit) {
 	f := d.queues[vc].Pop()
 	shared := f.Flags&proto.FlagShared != 0
@@ -110,6 +120,8 @@ func (d *DAMQ) Pop(vc int) (proto.Flit, proto.Credit) {
 }
 
 // Front returns the front flit of vc, or nil when the VC queue is empty.
+//
+//stashsim:noalloc
 func (d *DAMQ) Front(vc int) *proto.Flit {
 	if d.queues[vc].Empty() {
 		return nil
@@ -118,9 +130,13 @@ func (d *DAMQ) Front(vc int) *proto.Flit {
 }
 
 // Len returns the occupancy of one VC queue in flits.
+//
+//stashsim:noalloc
 func (d *DAMQ) Len(vc int) int { return d.queues[vc].Len() }
 
 // Occupied returns a bitmask of VCs with at least one queued flit.
+//
+//stashsim:noalloc
 func (d *DAMQ) Occupied() uint32 { return d.occupied }
 
 // NumVCs returns the number of virtual channels sharing the pool.
@@ -158,6 +174,8 @@ func NewCreditCounter(capacity, numVCs int) *CreditCounter {
 }
 
 // Avail returns how many flits may currently be sent on vc.
+//
+//stashsim:noalloc
 func (c *CreditCounter) Avail(vc int) int { return c.resvFree[vc] + c.shared }
 
 // NumVCs returns the number of virtual channels mirrored.
@@ -174,6 +192,8 @@ func (c *CreditCounter) SharedFree() int { return c.shared }
 
 // Take consumes one credit for vc, reserved-first, and stamps the flit's
 // FlagShared to match. It panics when no credit is available.
+//
+//stashsim:noalloc
 func (c *CreditCounter) Take(f *proto.Flit) {
 	vc := int(f.VC)
 	if c.resvFree[vc] > 0 {
@@ -188,6 +208,8 @@ func (c *CreditCounter) Take(f *proto.Flit) {
 }
 
 // Return replenishes one credit as described by cr.
+//
+//stashsim:noalloc
 func (c *CreditCounter) Return(cr proto.Credit) {
 	if cr.Shared {
 		c.shared++
@@ -199,7 +221,11 @@ func (c *CreditCounter) Return(cr proto.Credit) {
 // ReturnN replenishes n reserved credits for vc at once — the bulk form
 // behind per-cycle credit batching. Equivalent to n Return calls because
 // replenishment is a plain commutative increment.
+//
+//stashsim:noalloc
 func (c *CreditCounter) ReturnN(vc, n int) { c.resvFree[vc] += n }
 
 // ReturnShared replenishes n shared-pool credits at once.
+//
+//stashsim:noalloc
 func (c *CreditCounter) ReturnShared(n int) { c.shared += n }

@@ -34,20 +34,30 @@ func NewOutBuf(capacity, numVCs int) *OutBuf {
 func (b *OutBuf) Capacity() int { return b.capacity }
 
 // Used returns the total occupancy: queued plus retained flits.
+//
+//stashsim:noalloc
 func (b *OutBuf) Used() int { return b.queued + b.inflight.Len() }
 
 // Queued returns the number of flits awaiting transmission.
+//
+//stashsim:noalloc
 func (b *OutBuf) Queued() int { return b.queued }
 
 // Retained returns the number of sent flits still inside the link-level
 // retention window. An output port with no queued and no retained flits
 // has nothing to do until new flits or credits arrive.
+//
+//stashsim:noalloc
 func (b *OutBuf) Retained() int { return b.inflight.Len() }
 
 // Free returns the number of flits that can currently be accepted.
+//
+//stashsim:noalloc
 func (b *OutBuf) Free() int { return b.capacity - b.Used() }
 
 // Push accepts a flit from a column buffer. Callers gate on Free.
+//
+//stashsim:noalloc
 func (b *OutBuf) Push(f proto.Flit) {
 	if b.Free() <= 0 {
 		panic("buffer: output buffer overflow")
@@ -58,6 +68,8 @@ func (b *OutBuf) Push(f proto.Flit) {
 }
 
 // Front returns the front flit of vc, or nil when empty.
+//
+//stashsim:noalloc
 func (b *OutBuf) Front(vc int) *proto.Flit {
 	if b.queues[vc].Empty() {
 		return nil
@@ -66,10 +78,14 @@ func (b *OutBuf) Front(vc int) *proto.Flit {
 }
 
 // Occupied returns a bitmask of VCs with flits awaiting transmission.
+//
+//stashsim:noalloc
 func (b *OutBuf) Occupied() uint32 { return b.occupied }
 
 // Send dequeues the front flit of vc for transmission and retains its space
 // until releaseAt (transmit time plus link RTT).
+//
+//stashsim:noalloc
 func (b *OutBuf) Send(vc int, releaseAt int64) proto.Flit {
 	f := b.queues[vc].Pop()
 	b.queued--
@@ -81,6 +97,8 @@ func (b *OutBuf) Send(vc int, releaseAt int64) proto.Flit {
 }
 
 // Release frees the space of every retained flit whose deadline has passed.
+//
+//stashsim:noalloc
 func (b *OutBuf) Release(now int64) {
 	for {
 		if _, ok := b.inflight.PopDue(now); !ok {
@@ -92,6 +110,8 @@ func (b *OutBuf) Release(now int64) {
 // ReleaseDue reports whether Release(now) would free anything: the
 // active-set probe that lets an otherwise idle output port skip its step
 // while retention deadlines are still in the future.
+//
+//stashsim:noalloc
 func (b *OutBuf) ReleaseDue(now int64) bool {
 	return b.inflight.FrontDue(now)
 }

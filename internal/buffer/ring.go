@@ -17,12 +17,18 @@ type Ring struct {
 }
 
 // Len returns the number of queued flits.
+//
+//stashsim:noalloc
 func (r *Ring) Len() int { return r.n }
 
 // Empty reports whether the ring holds no flits.
+//
+//stashsim:noalloc
 func (r *Ring) Empty() bool { return r.n == 0 }
 
 // Push appends a flit.
+//
+//stashsim:noalloc
 func (r *Ring) Push(f proto.Flit) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -32,6 +38,8 @@ func (r *Ring) Push(f proto.Flit) {
 }
 
 // Pop removes and returns the oldest flit. It panics when empty.
+//
+//stashsim:noalloc
 func (r *Ring) Pop() proto.Flit {
 	if r.n == 0 {
 		panic("buffer: pop from empty ring")
@@ -44,6 +52,8 @@ func (r *Ring) Pop() proto.Flit {
 
 // Front returns a pointer to the oldest flit without removing it. The
 // pointer is invalidated by the next Push or Pop. It panics when empty.
+//
+//stashsim:noalloc
 func (r *Ring) Front() *proto.Flit {
 	if r.n == 0 {
 		panic("buffer: front of empty ring")
@@ -52,6 +62,8 @@ func (r *Ring) Front() *proto.Flit {
 }
 
 // At returns a pointer to the i-th oldest flit (0 = front).
+//
+//stashsim:noalloc
 func (r *Ring) At(i int) *proto.Flit {
 	if i < 0 || i >= r.n {
 		panic("buffer: ring index out of range")
@@ -59,11 +71,13 @@ func (r *Ring) At(i int) *proto.Flit {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
+//stashsim:noalloc
 func (r *Ring) grow() {
 	size := len(r.buf) * 2
 	if size == 0 {
 		size = 8
 	}
+	//lint:allow allocfree -- amortized doubling; steady state stays within the high-water capacity
 	nb := make([]proto.Flit, size)
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
@@ -90,13 +104,19 @@ type TimedRing struct {
 }
 
 // Len returns the number of queued entries.
+//
+//stashsim:noalloc
 func (r *TimedRing) Len() int { return r.n }
 
 // Empty reports whether the ring holds no entries.
+//
+//stashsim:noalloc
 func (r *TimedRing) Empty() bool { return r.n == 0 }
 
 // Push appends an entry. Deadlines must be monotonically non-decreasing;
 // this holds for link pipelines (fixed latency) and RTT retention queues.
+//
+//stashsim:noalloc
 func (r *TimedRing) Push(t TimedFlit) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -109,6 +129,8 @@ func (r *TimedRing) Push(t TimedFlit) {
 }
 
 // PopDue removes and returns the front entry if its deadline is <= now.
+//
+//stashsim:noalloc
 func (r *TimedRing) PopDue(now int64) (TimedFlit, bool) {
 	if r.n == 0 || r.nextAt > now {
 		return TimedFlit{}, false
@@ -123,6 +145,8 @@ func (r *TimedRing) PopDue(now int64) (TimedFlit, bool) {
 }
 
 // Front returns a pointer to the front entry; it panics when empty.
+//
+//stashsim:noalloc
 func (r *TimedRing) Front() *TimedFlit {
 	if r.n == 0 {
 		panic("buffer: front of empty timed ring")
@@ -133,11 +157,15 @@ func (r *TimedRing) Front() *TimedFlit {
 // FrontDue reports whether the front entry's deadline has passed; small
 // enough to inline into per-cycle idle probes, and header-only thanks to
 // the nextAt mirror.
+//
+//stashsim:noalloc
 func (r *TimedRing) FrontDue(now int64) bool {
 	return r.n > 0 && r.nextAt <= now
 }
 
 // At returns a pointer to the i-th oldest entry (0 = front).
+//
+//stashsim:noalloc
 func (r *TimedRing) At(i int) *TimedFlit {
 	if i < 0 || i >= r.n {
 		panic("buffer: timed ring index out of range")
@@ -145,11 +173,13 @@ func (r *TimedRing) At(i int) *TimedFlit {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
+//stashsim:noalloc
 func (r *TimedRing) grow() {
 	size := len(r.buf) * 2
 	if size == 0 {
 		size = 8
 	}
+	//lint:allow allocfree -- amortized doubling; steady state stays within the high-water capacity
 	nb := make([]TimedFlit, size)
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]

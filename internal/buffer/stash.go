@@ -71,9 +71,13 @@ func NewStashPool(capacity int, retainPayload bool) *StashPool {
 }
 
 // Capacity returns the pool capacity in flits.
+//
+//stashsim:noalloc
 func (p *StashPool) Capacity() int { return p.capacity }
 
 // Used returns the committed occupancy (reserved plus present) in flits.
+//
+//stashsim:noalloc
 func (p *StashPool) Used() int { return p.used + p.reserved }
 
 // Reserved returns the flits committed for granted packets whose flits
@@ -82,10 +86,14 @@ func (p *StashPool) Reserved() int { return p.reserved }
 
 // Free returns the number of uncommitted flits, the quantity advertised as
 // storage-VC credits for join-shortest-queue selection.
+//
+//stashsim:noalloc
 func (p *StashPool) Free() int { return p.capacity - p.Used() }
 
 // Reserve commits space for an entire packet of the given size. Callers
 // gate on Free; Reserve panics on overflow.
+//
+//stashsim:noalloc
 func (p *StashPool) Reserve(size int) {
 	if p.Free() < size {
 		panic("buffer: stash pool over-reservation")
@@ -100,6 +108,8 @@ func (p *StashPool) Reserve(size int) {
 // space was previously reserved. It returns true when the flit completes
 // its packet, at which point the location message should be sent to the
 // originating end port.
+//
+//stashsim:noalloc
 func (p *StashPool) PutCopy(f proto.Flit) bool {
 	p.reserved--
 	if n, ok := p.dead[f.PktID]; ok {
@@ -116,6 +126,7 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 	p.used++
 	if p.retainPayload {
 		if p.partial == nil {
+			//lint:allow allocfree -- one-time lazy init of the retention map
 			p.partial = make(map[uint64]*proto.PktBuf)
 		}
 		b := p.partial[f.PktID]
@@ -130,12 +141,14 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 		delete(p.arrived, f.PktID)
 		if p.retainPayload {
 			if p.store == nil {
+				//lint:allow allocfree -- one-time lazy init of the retention map
 				p.store = make(map[uint64]*proto.PktBuf)
 			}
 			p.store[f.PktID] = p.partial[f.PktID]
 			delete(p.partial, f.PktID)
 		}
 		if p.copies == nil {
+			//lint:allow allocfree -- one-time lazy init of the live-copy map
 			p.copies = make(map[uint64]uint8)
 		}
 		p.copies[f.PktID] = f.Size
@@ -149,6 +162,8 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 // the originating end port). It is idempotent: deleting a copy that is
 // not live — already deleted, or invalidated by a bank failure — is a
 // no-op, so racing sideband messages cannot underflow the pool.
+//
+//stashsim:noalloc
 func (p *StashPool) Delete(pktID uint64, size int) {
 	if _, ok := p.copies[pktID]; !ok {
 		return
@@ -168,6 +183,8 @@ func (p *StashPool) Delete(pktID uint64, size int) {
 }
 
 // Live reports whether a completed copy of the packet is resident.
+//
+//stashsim:noalloc
 func (p *StashPool) Live(pktID uint64) bool {
 	_, ok := p.copies[pktID]
 	return ok
@@ -228,6 +245,8 @@ func (p *StashPool) FailBank() []uint64 {
 // until the retransmitted packet is acknowledged and deleted); the caller
 // reads the flits out by value and must Release the buffer when done —
 // no per-retransmission payload copy is ever allocated.
+//
+//stashsim:noalloc
 func (p *StashPool) TakeCopy(pktID uint64) (*proto.PktBuf, bool) {
 	b, ok := p.store[pktID]
 	if !ok {
@@ -257,6 +276,8 @@ func (p *StashPool) RetainedBufs() int { return len(p.store) + len(p.partial) }
 
 // PutCongested stores one flit of a congestion-stashed packet. The packet
 // becomes retrievable in FIFO order.
+//
+//stashsim:noalloc
 func (p *StashPool) PutCongested(f proto.Flit) {
 	p.reserved--
 	p.used++
@@ -264,6 +285,8 @@ func (p *StashPool) PutCongested(f proto.Flit) {
 }
 
 // RetrFront returns the front flit awaiting retrieval, or nil.
+//
+//stashsim:noalloc
 func (p *StashPool) RetrFront() *proto.Flit {
 	if p.retrQ.Empty() {
 		return nil
@@ -275,6 +298,8 @@ func (p *StashPool) RetrFront() *proto.Flit {
 // used by the retransmission extension: the retained store entry keeps
 // owning the space, and the flit's FlagStashCopy marks it so RetrPop knows
 // not to release anything.
+//
+//stashsim:noalloc
 func (p *StashPool) PushRetr(f proto.Flit) {
 	if f.Flags&proto.FlagStashCopy != 0 {
 		p.retrCopies++
@@ -286,6 +311,8 @@ func (p *StashPool) PushRetr(f proto.Flit) {
 // their space; retransmission flits (FlagStashCopy) do not — their space is
 // owned by the retained store entry — and the flag is cleared so the flit
 // re-enters the network as ordinary data.
+//
+//stashsim:noalloc
 func (p *StashPool) RetrPop() proto.Flit {
 	f := p.retrQ.Pop()
 	if f.Flags&proto.FlagStashCopy != 0 {
@@ -301,6 +328,8 @@ func (p *StashPool) RetrPop() proto.Flit {
 }
 
 // RetrLen returns the number of flits queued for retrieval.
+//
+//stashsim:noalloc
 func (p *StashPool) RetrLen() int { return p.retrQ.Len() }
 
 // PresentFlits returns the number of flits physically resident in the

@@ -203,6 +203,7 @@ type Config struct {
 }
 
 // FaultActive reports whether an attached fault plan injects anything.
+//stashsim:noalloc
 func (c *Config) FaultActive() bool { return c.Fault.Active() }
 
 // VerifyChecksums reports whether destination endpoints must verify flit
@@ -314,16 +315,20 @@ func (c *Config) SwitchStashCap() int {
 }
 
 // RowOf returns the tile row serving an input port.
+//stashsim:noalloc
 func (c *Config) RowOf(in int) int { return in / c.TileIn }
 
 // SlotOf returns the tile-input slot of an input port within its row.
+//stashsim:noalloc
 func (c *Config) SlotOf(in int) int { return in % c.TileIn }
 
 // ColOf returns the tile column serving an output port.
+//stashsim:noalloc
 func (c *Config) ColOf(out int) int { return out / c.TileOut }
 
 // TileOutOf returns the tile-output index of an output port within its
 // column.
+//stashsim:noalloc
 func (c *Config) TileOutOf(out int) int { return out % c.TileOut }
 
 // PaperConfig returns the full-scale configuration of Section V: a

@@ -8,6 +8,8 @@ import (
 )
 
 // tileAt returns the tile at (row, col).
+//
+//stashsim:noalloc
 func (s *Switch) tileAt(row, col int) *tile {
 	return &s.tiles[row*s.cfg.Cols+col]
 }
@@ -20,6 +22,8 @@ func (s *Switch) tileAt(row, col int) *tile {
 // outgoing VC (an ejecting packet keeps its arrival VC while a transit
 // packet is upgraded), and indexing by outgoing VC would interleave them in
 // one FIFO and corrupt the wormhole.
+//
+//stashsim:noalloc
 func (s *Switch) pushTile(t *tile, f proto.Flit, slot, stream int) {
 	t.rowBufs[slot][stream].Push(f)
 	t.slotOcc[slot] |= 1 << uint(stream)
@@ -29,6 +33,8 @@ func (s *Switch) pushTile(t *tile, f proto.Flit, slot, stream int) {
 
 // rowBufSpace reports whether the row buffer at (row, col, slot, stream)
 // can accept one more flit.
+//
+//stashsim:noalloc
 func (s *Switch) rowBufSpace(row, col, slot, stream int) bool {
 	return s.tileAt(row, col).rowBufs[slot][stream].Len() < s.cfg.RowBufFlits
 }
@@ -36,6 +42,8 @@ func (s *Switch) rowBufSpace(row, col, slot, stream int) bool {
 // stepArrivals drains flits that have arrived on the input link into the
 // input buffer. Space is guaranteed by upstream credits; the only possible
 // stall is a bank conflict on the port memory write.
+//
+//stashsim:noalloc
 func (s *Switch) stepArrivals(now sim.Tick, p *inPort) {
 	for {
 		f := p.link.PeekFlit(now)
@@ -56,6 +64,8 @@ func (s *Switch) stepArrivals(now sim.Tick, p *inPort) {
 // decisions of Section IV, arbitrate among the input VCs and the stash
 // retrieval queue, and move the winning flit (plus its multi-drop stash
 // duplicate, when end-to-end reliability is active) into row buffers.
+//
+//stashsim:noalloc
 func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 	cfg := s.cfg
 	if cfg.ECN.Enabled {
@@ -220,6 +230,8 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 // returning a credit upstream, applying ECN marking, and exploiting the
 // row bus's multi-drop broadcast to deposit the end-to-end stash duplicate
 // in the same cycle.
+//
+//stashsim:noalloc
 func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 	cfg := s.cfg
 	lt := &p.latch[vc]
@@ -301,6 +313,8 @@ func (s *Switch) moveFromInput(now sim.Tick, p *inPort, vc, row, slot int) {
 // input's row whose storage-VC row buffer has space, pick the one whose
 // best port has the most free stash capacity, requiring at least size
 // flits. Ports without stash buffers are statically omitted.
+//
+//stashsim:noalloc
 func (s *Switch) jsqColumn(row, slot, size int) (int, bool) {
 	cfg := s.cfg
 	if cfg.RandomStashPlacement {
@@ -334,6 +348,8 @@ func (s *Switch) jsqColumn(row, slot, size int) (int, bool) {
 
 // bestStashInColumn returns the largest free stash capacity among the
 // output ports served by tile column c.
+//
+//stashsim:noalloc
 func (s *Switch) bestStashInColumn(c int) int {
 	cfg := s.cfg
 	best := 0

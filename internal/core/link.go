@@ -27,6 +27,12 @@ import (
 // port's work is skipped. Sparse direct use (unit tests) instead merges
 // both slots by arrival time, which equals push order because Latency is
 // constant.
+//
+// Link fields are parallel-phase state by design: they ARE the inbox
+// mediation the rest of the contract leans on, race-free by the parity
+// protocol above rather than by ownership.
+//
+//stashsim:phase parallel
 type Link struct {
 	Latency int64
 
@@ -93,6 +99,7 @@ func NewLink(latency int64) *Link {
 // so on credited links the credit the receiver would have returned is
 // synthesized at the time it would have come back (one round trip);
 // without it the producer's credit pool would leak one slot per drop.
+//stashsim:noalloc
 func (l *Link) SendFlit(now int64, f proto.Flit) {
 	if l.Fault != nil && l.Fault.OnFlit(now, &f) {
 		l.faultDropped++
@@ -112,6 +119,7 @@ func (l *Link) SendFlit(now int64, f proto.Flit) {
 // per cycle. The every-cycle fast path touches only the slot the producer
 // filled last cycle; the sparse path (owner skipped one or more cycles —
 // never under the executor) merges both slots by arrival time.
+//stashsim:noalloc
 func (l *Link) drainFlits(now int64) {
 	if now == l.flitDrained {
 		return
@@ -140,6 +148,8 @@ func (l *Link) drainFlits(now int64) {
 }
 
 // drainCredits is drainFlits for the reverse path.
+//
+//stashsim:noalloc
 func (l *Link) drainCredits(now int64) {
 	if now == l.credDrained {
 		return
@@ -172,6 +182,7 @@ func (l *Link) drainCredits(now int64) {
 // reduces to one flag store with no call. Every other case — entries to
 // fold, a repeated touch this cycle, or a sparse gap — falls through to
 // drainFlits, which handles them all.
+//stashsim:noalloc
 func (l *Link) foldFlits(now int64) {
 	if now != l.flitDrained+1 || len(l.flitIn[(now&1)^1]) != 0 {
 		l.drainFlits(now)
@@ -181,6 +192,8 @@ func (l *Link) foldFlits(now int64) {
 }
 
 // foldCredits is foldFlits for the reverse path.
+//
+//stashsim:noalloc
 func (l *Link) foldCredits(now int64) {
 	if now != l.credDrained+1 || len(l.credIn[(now&1)^1]) != 0 {
 		l.drainCredits(now)
@@ -194,6 +207,7 @@ func (l *Link) foldCredits(now int64) {
 // producer push raises the port's wake flag for the following cycle, so a
 // cycle the owner skipped provably had nothing to fold, and the opposite
 // slot — the one producers may be appending to right now — is never read.
+//stashsim:noalloc
 func (l *Link) foldWakeFlits(now int64) {
 	prev := (now + 1) & 1
 	if len(l.flitIn[prev]) != 0 {
@@ -206,6 +220,8 @@ func (l *Link) foldWakeFlits(now int64) {
 }
 
 // foldWakeCredits is foldWakeFlits for the reverse path.
+//
+//stashsim:noalloc
 func (l *Link) foldWakeCredits(now int64) {
 	prev := (now + 1) & 1
 	if len(l.credIn[prev]) != 0 {
@@ -222,12 +238,15 @@ func (l *Link) foldWakeCredits(now int64) {
 // an idle link. Calling it also performs the once-per-cycle inbox fold, so a
 // port that consults it every cycle keeps the link on the race-free
 // fast-path fold even when the rest of its step is skipped.
+//stashsim:noalloc
 func (l *Link) FlitPending(now int64) bool {
 	l.foldFlits(now)
 	return l.flits.FrontDue(now)
 }
 
 // CreditPending is FlitPending for the reverse (credit) path.
+//
+//stashsim:noalloc
 func (l *Link) CreditPending(now int64) bool {
 	l.foldCredits(now)
 	return l.credits.frontDue(now) || l.synth.frontDue(now)
@@ -238,6 +257,8 @@ func (l *Link) CreditPending(now int64) bool {
 func (l *Link) FaultDropped() int64 { return l.faultDropped }
 
 // RecvFlit returns the next flit whose arrival time has passed.
+//
+//stashsim:noalloc
 func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
 	l.foldFlits(now)
 	t, ok := l.flits.PopDue(now)
@@ -247,6 +268,8 @@ func (l *Link) RecvFlit(now int64) (proto.Flit, bool) {
 // PeekFlit returns a pointer to the next arrived flit without consuming
 // it, or nil. Used when the receiver may have to stall the write (bank
 // conflicts).
+//
+//stashsim:noalloc
 func (l *Link) PeekFlit(now int64) *proto.Flit {
 	l.foldFlits(now)
 	if l.flits.Empty() {
@@ -260,6 +283,8 @@ func (l *Link) PeekFlit(now int64) *proto.Flit {
 }
 
 // DropFlit consumes the flit previously returned by PeekFlit.
+//
+//stashsim:noalloc
 func (l *Link) DropFlit(now int64) {
 	l.foldFlits(now)
 	if _, ok := l.flits.PopDue(now); !ok {
@@ -318,6 +343,7 @@ func (l *Link) auditCredits(fn func(proto.Credit)) {
 // SendCredit returns a credit to the link's producer; it arrives after the
 // same latency as the forward path. Credits sent during the same cycle
 // coalesce into one batch entry.
+//stashsim:noalloc
 func (l *Link) SendCredit(now int64, c proto.Credit) {
 	s := now & 1
 	at := now + l.Latency
@@ -339,6 +365,7 @@ func (l *Link) SendCredit(now int64, c proto.Credit) {
 // order carries no information. Due-time order across the two rings keeps
 // the result independent of how the two push sides interleave within a
 // cycle, which the parallel executor does not define.
+//stashsim:noalloc
 func (l *Link) RecvCredit(now int64) (proto.Credit, bool) {
 	l.foldCredits(now)
 	cf, cok := l.credits.front()
@@ -358,6 +385,7 @@ func (l *Link) RecvCredit(now int64) (proto.Credit, bool) {
 // per sending cycle, instead of one ring pop per credit. Equivalent to
 // draining RecvCredit in a loop because CreditCounter.Return is
 // commutative.
+//stashsim:noalloc
 func (l *Link) RecvCreditsInto(now int64, cc *buffer.CreditCounter) int {
 	l.foldCredits(now)
 	return l.credits.popDueInto(now, cc) + l.synth.popDueInto(now, cc)
@@ -365,18 +393,22 @@ func (l *Link) RecvCreditsInto(now int64, cc *buffer.CreditCounter) int {
 
 // creditBatch holds every credit that one cycle returned over a link: a
 // count per reserved VC plus a shared-pool count, all due at the same time.
+//
+//stashsim:phase parallel
 type creditBatch struct {
 	at     int64
 	resv   [proto.NumNetVCs]uint16
 	shared uint16
 }
 
+//stashsim:noalloc
 func newCreditBatch(at int64, c proto.Credit) creditBatch {
 	b := creditBatch{at: at}
 	b.add(c)
 	return b
 }
 
+//stashsim:noalloc
 func (b *creditBatch) add(c proto.Credit) {
 	if c.Shared {
 		b.shared++
@@ -390,6 +422,8 @@ func (b *creditBatch) add(c proto.Credit) {
 
 // take removes one credit in the canonical order (reserved VCs ascending,
 // then shared) and reports whether the batch is now empty.
+//
+//stashsim:noalloc
 func (b *creditBatch) take() (proto.Credit, bool) {
 	total := b.shared
 	var c proto.Credit
@@ -417,6 +451,8 @@ func (b *creditBatch) take() (proto.Credit, bool) {
 // timedCreditRing is a growable FIFO of in-flight credit batches. nextAt
 // mirrors the front batch's due time so the per-cycle probes stay on the
 // ring header (see buffer.TimedRing).
+//
+//stashsim:phase parallel
 type timedCreditRing struct {
 	buf    []creditBatch
 	head   int
@@ -426,6 +462,8 @@ type timedCreditRing struct {
 
 // add coalesces a credit into the tail batch when the due times match,
 // otherwise appends a new batch.
+//
+//stashsim:noalloc
 func (r *timedCreditRing) add(at int64, c proto.Credit) {
 	if r.n > 0 {
 		tail := r.at(r.n - 1)
@@ -437,12 +475,14 @@ func (r *timedCreditRing) add(at int64, c proto.Credit) {
 	r.push(newCreditBatch(at, c))
 }
 
+//stashsim:noalloc
 func (r *timedCreditRing) push(t creditBatch) {
 	if r.n == len(r.buf) {
 		size := len(r.buf) * 2
 		if size == 0 {
 			size = 16
 		}
+		//lint:allow allocfree -- amortized doubling; steady state stays within the high-water capacity
 		nb := make([]creditBatch, size)
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
@@ -457,10 +497,12 @@ func (r *timedCreditRing) push(t creditBatch) {
 	r.n++
 }
 
+//stashsim:noalloc
 func (r *timedCreditRing) at(i int) *creditBatch {
 	return &r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
+//stashsim:noalloc
 func (r *timedCreditRing) front() (*creditBatch, bool) {
 	if r.n == 0 {
 		return nil, false
@@ -470,11 +512,15 @@ func (r *timedCreditRing) front() (*creditBatch, bool) {
 
 // frontDue reports whether the front batch is due; small enough to inline
 // into the per-cycle CreditPending probe, and header-only via nextAt.
+//
+//stashsim:noalloc
 func (r *timedCreditRing) frontDue(now int64) bool {
 	return r.n > 0 && r.nextAt <= now
 }
 
 // popOneDue removes a single credit from the front batch if it is due.
+//
+//stashsim:noalloc
 func (r *timedCreditRing) popOneDue(now int64) (proto.Credit, bool) {
 	if r.n == 0 || r.nextAt > now {
 		return proto.Credit{}, false
@@ -491,6 +537,8 @@ func (r *timedCreditRing) popOneDue(now int64) (proto.Credit, bool) {
 }
 
 // popDueInto folds every due batch into cc and returns the credit count.
+//
+//stashsim:noalloc
 func (r *timedCreditRing) popDueInto(now int64, cc *buffer.CreditCounter) int {
 	total := 0
 	for r.n > 0 && r.nextAt <= now {

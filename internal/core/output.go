@@ -13,6 +13,8 @@ import (
 // effVC returns the output-buffer VC a column-buffer flit is heading to:
 // retrieval flits are returned to their original VC after the multiplexer
 // (Section III-A); everything else keeps its VC.
+//
+//stashsim:noalloc
 func effVC(f *proto.Flit) int {
 	if f.VC == proto.VCRetrieve {
 		return int(f.RestoreVC)
@@ -23,6 +25,8 @@ func effVC(f *proto.Flit) int {
 // stepMux performs one output-multiplexer cycle: round-robin among the
 // (row, VC) column buffer heads, moving one flit into the output buffer or
 // — for storage-VC flits — into the port's stash pool.
+//
+//stashsim:noalloc
 func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 	if op.colOcc == 0 {
 		return
@@ -105,6 +109,8 @@ func (s *Switch) stepMux(now sim.Tick, op *outPort) {
 // stashArrival deposits one storage-VC flit into the port's stash pool.
 // Completed end-to-end copies trigger the side-band location message back
 // to the originating end port.
+//
+//stashsim:noalloc
 func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 	pool := s.stash[op.id]
 	s.Counters.StashStores++
@@ -141,6 +147,8 @@ func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 // by per-cycle increment: each elapsed cycle would have added RateNum while
 // acc was below RateDen, and the closed form reproduces that exactly (an
 // idle port cannot have sent, so no cycle in the gap decremented acc).
+//
+//stashsim:noalloc
 func (s *Switch) stepOutput(now sim.Tick, op *outPort) {
 	cfg := s.cfg
 	op.buf.Release(now)

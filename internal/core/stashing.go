@@ -26,6 +26,7 @@ const (
 	sbRetransmit
 )
 
+//stashsim:owner partition
 type sbMsg struct {
 	at    int64
 	kind  sbKind
@@ -36,18 +37,22 @@ type sbMsg struct {
 }
 
 // sbRing is a growable FIFO of side-band messages.
+//
+//stashsim:owner partition
 type sbRing struct {
 	buf  []sbMsg
 	head int
 	n    int
 }
 
+//stashsim:noalloc
 func (r *sbRing) push(m sbMsg) {
 	if r.n == len(r.buf) {
 		size := len(r.buf) * 2
 		if size == 0 {
 			size = 16
 		}
+		//lint:allow allocfree -- amortized doubling; steady state stays within the high-water capacity
 		nb := make([]sbMsg, size)
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
@@ -59,6 +64,7 @@ func (r *sbRing) push(m sbMsg) {
 	r.n++
 }
 
+//stashsim:noalloc
 func (r *sbRing) popDue(now int64) (sbMsg, bool) {
 	if r.n == 0 || r.buf[r.head].at > now {
 		return sbMsg{}, false
@@ -71,12 +77,16 @@ func (r *sbRing) popDue(now int64) (sbMsg, bool) {
 
 // sbSend enqueues a side-band message for delivery after the configured
 // side-band latency.
+//
+//stashsim:noalloc
 func (s *Switch) sbSend(now sim.Tick, kind sbKind, pktID uint64, dst, aux, size uint8) {
 	s.sideband.push(sbMsg{at: now + s.cfg.SidebandLat, kind: kind, pktID: pktID, dst: dst, aux: aux, size: size})
 	s.Counters.SidebandMsgs++
 }
 
 // stepSideband delivers due side-band messages.
+//
+//stashsim:noalloc
 func (s *Switch) stepSideband(now sim.Tick) {
 	for {
 		m, ok := s.sideband.popDue(now)
@@ -97,6 +107,8 @@ func (s *Switch) stepSideband(now sim.Tick) {
 // onLocation processes a stash-location report at the originating end
 // port, resolving any ACK/NACK that raced ahead of it (Section IV-A's
 // "ACK could return before the location message" case).
+//
+//stashsim:noalloc
 func (s *Switch) onLocation(now sim.Tick, m sbMsg) {
 	e := s.track[m.dst][m.pktID]
 	if e == nil {
@@ -130,6 +142,8 @@ func (s *Switch) onLocation(now sim.Tick, m sbMsg) {
 
 // e2eOnAck handles an end-to-end ACK observed at the originating end port
 // as it exits toward the source endpoint.
+//
+//stashsim:noalloc
 func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 	e := s.track[port][f.PktID]
 	if e == nil {
@@ -170,6 +184,8 @@ func (s *Switch) e2eOnAck(now sim.Tick, port int, f *proto.Flit) {
 // ACK timer with exponential backoff. It returns false when the retry
 // budget is exhausted, in which case the entry has been abandoned (stash
 // copy freed, recovery left to the source endpoint's timer).
+//
+//stashsim:noalloc
 func (s *Switch) armRetry(now sim.Tick, port int, pktID uint64, e *e2eEntry) bool {
 	rp := &s.cfg.Retrans
 	if int(e.retries) >= rp.SwitchRetries {
@@ -185,6 +201,8 @@ func (s *Switch) armRetry(now sim.Tick, port int, pktID uint64, e *e2eEntry) boo
 // abandonEntry gives up on local (stash) recovery of a tracked packet:
 // the copy's space is freed and the tracking entry removed. The source
 // endpoint's retransmission timer is now the packet's only cover.
+//
+//stashsim:noalloc
 func (s *Switch) abandonEntry(now sim.Tick, port int, pktID uint64, e *e2eEntry) {
 	if e.stashPort >= 0 && !e.lost {
 		s.sbSend(now, sbDelete, pktID, uint8(e.stashPort), 0, e.size)
@@ -197,6 +215,8 @@ func (s *Switch) abandonEntry(now sim.Tick, port int, pktID uint64, e *e2eEntry)
 // Stale records (entry settled, or re-armed under a different deadline)
 // are dropped; due records trigger a stash resend and re-arm with
 // backoff, or abandon the entry once the retry budget is spent.
+//
+//stashsim:noalloc
 func (s *Switch) stepRetry(now sim.Tick) {
 	rp := &s.cfg.Retrans
 	if !rp.Enabled || len(s.retryQ) == 0 {
@@ -235,6 +255,7 @@ func (s *Switch) stepRetry(now sim.Tick) {
 	}
 	// Keep the records armed during this scan, then drop the consumed
 	// prefix.
+	//lint:allow allocfree -- in-place compaction: appends a suffix of the same backing array, cap always suffices
 	s.retryQ = append(s.retryQ[:w], s.retryQ[n:]...)
 }
 
@@ -242,6 +263,8 @@ func (s *Switch) stepRetry(now sim.Tick) {
 // live end-to-end copy in the pool is invalidated and its tracking entry
 // marked lost, degrading those packets to endpoint-timer recovery. It
 // returns the number of copies lost.
+//
+//stashsim:phase serial -- fault injection runs from the harness between cycles, never inside Step
 func (s *Switch) FailStashBank(now sim.Tick, port int) int {
 	lost := s.stash[port].FailBank()
 	for _, pktID := range lost {
@@ -271,6 +294,8 @@ func (s *Switch) FailStashBank(now sim.Tick, port int) int {
 // the mechanism but does not simulate it). The copy is re-routed from this
 // switch as a fresh packet and flows out through the retrieval VC; its
 // stash space stays committed until the eventual positive ACK deletes it.
+//
+//stashsim:noalloc
 func (s *Switch) retransmit(now sim.Tick, stashPort int, pktID uint64) {
 	pool := s.stash[stashPort]
 	buf, ok := pool.TakeCopy(pktID)

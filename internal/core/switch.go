@@ -14,6 +14,10 @@ import (
 )
 
 // Counters aggregates per-switch event counts for probes and tests.
+// Written only by the owning switch's Step; probes read them while the
+// workers are parked at the barrier.
+//
+//stashsim:owner partition
 type Counters struct {
 	FlitsSwitched   int64 // flits that crossed the row bus
 	FlitsSent       int64 // flits transmitted on output links
@@ -54,6 +58,8 @@ type switchMetrics struct {
 
 // routeLatch is the per-(input,VC) wormhole state holding the routing
 // decision of the packet currently crossing the row bus.
+//
+//stashsim:owner partition
 type routeLatch struct {
 	active   bool
 	started  bool // head flit has left the input buffer
@@ -64,6 +70,7 @@ type routeLatch struct {
 	stashCol int8  // tile column of the stash path; -1 when none
 }
 
+//stashsim:owner partition
 type inPort struct {
 	id        int
 	class     topo.LinkClass
@@ -80,6 +87,8 @@ type inPort struct {
 
 // tileLock serializes packets per (tile output, VC) so flits of different
 // packets never interleave on one column channel VC.
+//
+//stashsim:owner partition
 type tileLock struct {
 	pkt    uint64
 	active bool
@@ -87,11 +96,14 @@ type tileLock struct {
 
 // stashLatch pins the JSQ-chosen stash port for the S-VC packet currently
 // crossing a tile from one input slot.
+//
+//stashsim:owner partition
 type stashLatch struct {
 	port   uint8
 	active bool
 }
 
+//stashsim:owner partition
 type tile struct {
 	row, col int
 	rowBufs  [][]buffer.Ring // [TileIn][NumVCs]
@@ -108,12 +120,15 @@ type tile struct {
 
 // muxLock serializes packets per output-buffer VC across the R column
 // channels feeding one output multiplexer.
+//
+//stashsim:owner partition
 type muxLock struct {
 	row    int8
 	pkt    uint64
 	active bool
 }
 
+//stashsim:owner partition
 type outPort struct {
 	id      int
 	class   topo.LinkClass
@@ -134,6 +149,8 @@ type outPort struct {
 }
 
 // e2eEntry tracks one outstanding packet at its originating end port.
+//
+//stashsim:owner partition
 type e2eEntry struct {
 	size      uint8
 	stashPort int16 // -1 until the location message arrives
@@ -151,13 +168,19 @@ type e2eEntry struct {
 // or whose deadline no longer matches the entry (re-armed with backoff),
 // is stale and dropped on the next scan. This keeps the timer wheel free
 // of map iteration, preserving the determinism contract.
+//
+//stashsim:owner partition
 type retryRec struct {
 	deadline int64
 	pktID    uint64
 	port     uint8
 }
 
-// Switch is one tiled (optionally stashing) switch instance.
+// Switch is one tiled (optionally stashing) switch instance. All of its
+// state is private to the partition whose worker steps it; cross-switch
+// traffic goes through Link rings, never through another Switch's fields.
+//
+//stashsim:owner partition
 type Switch struct {
 	ID     int
 	cfg    *Config
@@ -539,6 +562,13 @@ var _ sim.Stepper = (*Switch)(nil)
 // exactly what stepRowBus would compute for an empty buffer. Skipped
 // stages are otherwise provably no-ops: every arbiter pointer advances
 // only on grants, and grants require a non-empty request set.
+//
+// Step is the switch's parallel-phase entry: it runs concurrently with
+// every other component's Step and must stay allocation-free in the
+// steady state (sim.Stepper's contract).
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func (s *Switch) Step(now sim.Tick) {
 	s.m.cycles.Inc()
 	s.stepRetry(now)
@@ -633,6 +663,8 @@ func (s *Switch) Step(now sim.Tick) {
 
 // newEntry takes a tracking entry from the freelist, or allocates one on a
 // cold list. The entry comes back zeroed.
+//
+//stashsim:noalloc
 func (s *Switch) newEntry() *e2eEntry {
 	if n := len(s.entryFree); n > 0 {
 		e := s.entryFree[n-1]
@@ -640,11 +672,14 @@ func (s *Switch) newEntry() *e2eEntry {
 		*e = e2eEntry{}
 		return e
 	}
+	//lint:allow allocfree -- amortized: recycled via entryFree once the high-water mark is reached
 	return &e2eEntry{}
 }
 
 // dropEntry removes a settled tracking entry from its end-port map and
 // recycles it. The caller must not touch e afterwards.
+//
+//stashsim:noalloc
 func (s *Switch) dropEntry(port int, pktID uint64, e *e2eEntry) {
 	delete(s.track[port], pktID)
 	s.entryFree = append(s.entryFree, e)

@@ -15,6 +15,8 @@ import (
 // join-shortest-queue stage here, choosing the column channel (and thus
 // the stash port) with the most free storage credits, and reserve a full
 // packet of pool space on grant.
+//
+//stashsim:noalloc
 func (s *Switch) stepTile(now sim.Tick, t *tile) {
 	if t.occupied == 0 {
 		return
@@ -135,6 +137,8 @@ func (s *Switch) stepTile(now sim.Tick, t *tile) {
 // column's output ports, pick the one with the most free stash capacity
 // that can hold the whole packet and whose storage column channel is
 // usable (lock free, column buffer space).
+//
+//stashsim:noalloc
 func (s *Switch) jsqPort(t *tile, size int) (int, bool) {
 	cfg := s.cfg
 	bestPort, bestFree := -1, size-1

@@ -48,6 +48,8 @@ func NewFlightRecorder(rows int, fields ...FlightField) *FlightRecorder {
 
 // Record captures one row at cycle now: deltas for counter fields,
 // absolutes for gauges. It never allocates.
+//
+//stashsim:phase serial -- field readers walk live component state; runs from the PostCycle hook only
 func (f *FlightRecorder) Record(now int64) {
 	if f == nil {
 		return

@@ -36,6 +36,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//stashsim:phase parallel -- atomic add; scope ownership keeps each counter single-writer anyway
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -43,6 +45,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//stashsim:phase parallel -- atomic add; scope ownership keeps each counter single-writer anyway
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -50,6 +54,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count (0 for a nil handle).
+//
+//stashsim:phase parallel -- atomic load
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -66,6 +72,8 @@ type Hist struct {
 }
 
 // Observe records one observation.
+//
+//stashsim:phase parallel -- mutex-serialized; histogram handles may be shared across components
 func (h *Hist) Observe(v int64) {
 	if h != nil {
 		h.mu.Lock()
@@ -100,6 +108,8 @@ type Scope struct {
 }
 
 // Counter returns (creating on first use) the named counter handle.
+//
+//stashsim:phase serial -- handle resolution is wiring-time work, not hot-path work
 func (s *Scope) Counter(name string) *Counter {
 	if s == nil {
 		return nil
@@ -117,6 +127,8 @@ func (s *Scope) Counter(name string) *Counter {
 
 // Gauge registers a gauge evaluated lazily at snapshot time. Re-registering
 // a name replaces the previous function.
+//
+//stashsim:phase serial -- handle resolution is wiring-time work, not hot-path work
 func (s *Scope) Gauge(name string, fn func() float64) {
 	if s == nil {
 		return
@@ -130,6 +142,8 @@ func (s *Scope) Gauge(name string, fn func() float64) {
 }
 
 // Hist returns (creating on first use) the named histogram handle.
+//
+//stashsim:phase serial -- handle resolution is wiring-time work, not hot-path work
 func (s *Scope) Hist(name string) *Hist {
 	if s == nil {
 		return nil
@@ -159,6 +173,8 @@ func NewRegistry() *Registry {
 }
 
 // Scope returns (creating on first use) the named scope.
+//
+//stashsim:phase serial -- handle resolution is wiring-time work, not hot-path work
 func (r *Registry) Scope(name string) *Scope {
 	if r == nil {
 		return nil
@@ -182,6 +198,8 @@ func (r *Registry) Scope(name string) *Scope {
 
 // Each visits every counter and gauge as (scope, metric, value), scopes in
 // registration order, metrics in registration order within a scope.
+//
+//stashsim:phase serial -- cross-scope merge; probes run while the workers are parked
 func (r *Registry) Each(fn func(scope, name string, value float64)) {
 	if r == nil {
 		return
@@ -201,6 +219,8 @@ func (r *Registry) Each(fn func(scope, name string, value float64)) {
 
 // Totals sums every counter by metric name across all scopes (the
 // network-wide view), returned with sorted names.
+//
+//stashsim:phase serial -- cross-scope merge; probes run while the workers are parked
 func (r *Registry) Totals() (names []string, values []int64) {
 	if r == nil {
 		return nil, nil
@@ -224,6 +244,8 @@ func (r *Registry) Totals() (names []string, values []int64) {
 }
 
 // Sum returns the total of one counter name across all scopes.
+//
+//stashsim:phase serial -- cross-scope merge; probes run while the workers are parked
 func (r *Registry) Sum(name string) int64 {
 	if r == nil {
 		return 0
@@ -242,6 +264,8 @@ func (r *Registry) Sum(name string) int64 {
 // Table renders every metric as a (scope, metric, value) table. Gauges are
 // formatted with 4 decimal places, counters as integers; histogram handles
 // contribute count/mean/p99 summary rows.
+//
+//stashsim:phase serial -- cross-scope merge; probes run while the workers are parked
 func (r *Registry) Table() *stats.Table {
 	if r == nil {
 		return &stats.Table{Header: []string{"scope", "metric", "value"}}
@@ -270,6 +294,8 @@ func (r *Registry) Table() *stats.Table {
 
 // TotalsTable renders the cross-scope counter sums (the compact view the
 // CLI prints by default).
+//
+//stashsim:phase serial -- cross-scope merge; probes run while the workers are parked
 func (r *Registry) TotalsTable() *stats.Table {
 	if r == nil {
 		return &stats.Table{Header: []string{"metric", "total"}}

@@ -36,6 +36,8 @@ func (s *Sampler) Every() int64 {
 }
 
 // Probe registers one named probe function.
+//
+//stashsim:phase serial -- probes are registered before the run starts
 func (s *Sampler) Probe(name string, fn func() float64) {
 	if s == nil {
 		return
@@ -46,6 +48,8 @@ func (s *Sampler) Probe(name string, fn func() float64) {
 }
 
 // MaybeSample polls every probe when now falls on the sampling interval.
+//
+//stashsim:phase serial -- probes walk live component state; runs from the PostCycle hook only
 func (s *Sampler) MaybeSample(now int64) {
 	if s == nil || now%s.every != 0 {
 		return

@@ -58,6 +58,8 @@ type Event struct {
 // *Tracer is a no-op, so tracing can stay wired in permanently. Record is
 // mutex-protected: the tracer is the one observability sink shared across
 // switch scopes, and must stay safe under the parallel executor.
+//
+//stashsim:phase parallel -- the ring is mutex-protected; this is the one sink deliberately shared across workers
 type Tracer struct {
 	mu      sync.Mutex
 	buf     []Event
@@ -75,6 +77,8 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends one event, evicting the oldest when the ring is full.
+//
+//stashsim:phase parallel -- mutex-serialized append, callable from any worker's Step
 func (t *Tracer) Record(time int64, kind EventKind, pktID uint64, node, aux, src, dst int32) {
 	if t == nil {
 		return

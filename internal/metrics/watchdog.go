@@ -49,6 +49,8 @@ type Watchdog struct {
 // unexplained zero-delivery window. It is the /healthz liveness signal
 // and is safe to read from a scraping goroutine while the simulation
 // runs; it clears as soon as a window sees deliveries again.
+//
+//stashsim:phase parallel -- atomic load; the /healthz read side
 func (w *Watchdog) Stalled() bool {
 	if w == nil {
 		return false
@@ -57,6 +59,8 @@ func (w *Watchdog) Stalled() bool {
 }
 
 // Observe advances the watchdog to cycle now.
+//
+//stashsim:phase serial -- window bookkeeping is unsynchronized; runs from the PostCycle hook only
 func (w *Watchdog) Observe(now int64) {
 	if w == nil {
 		return

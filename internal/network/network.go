@@ -321,6 +321,8 @@ func (n *Network) DumpNonIdle(w io.Writer) {
 // component step: due stash-bank failure events. Under the parallel
 // executor it runs serially at the cycle barrier (the coordinator's
 // PreCycle hook).
+//
+//stashsim:phase serial -- fault injection mutates arbitrary switches; only the coordinator may run it
 func (n *Network) preCycle(now sim.Tick) {
 	if n.Injector.HasStashFails() {
 		for _, sf := range n.Injector.DueStashFails(int64(now)) {
@@ -334,6 +336,8 @@ func (n *Network) preCycle(now sim.Tick) {
 // has stepped: sampler, watchdog, invariant audit. Under the parallel
 // executor it runs serially at the cycle barrier (the coordinator's
 // PostCycle hook), so the probes see a quiescent network.
+//
+//stashsim:phase serial -- the observers walk live state; only the coordinator may run it
 func (n *Network) postCycle(now sim.Tick) {
 	n.cycleDone.Store(int64(now) + 1)
 	n.Flight.Record(int64(now)) // before the watchdog so stall dumps include this cycle

@@ -34,6 +34,8 @@ func (b *PktBuf) Freed() bool { return b.refs <= 0 }
 
 // Retain takes an additional reference. Retaining a freed buffer is a
 // use-after-free and panics immediately rather than corrupting the pool.
+//
+//stashsim:noalloc
 func (b *PktBuf) Retain() {
 	if b.refs <= 0 {
 		panic("proto: Retain on freed PktBuf")
@@ -44,6 +46,8 @@ func (b *PktBuf) Retain() {
 // Release drops one reference; when the last one goes the buffer is reset
 // and pushed back on its pool's freelist. Releasing a freed buffer panics:
 // a double release would let two packets share one buffer.
+//
+//stashsim:noalloc
 func (b *PktBuf) Release() {
 	if b.refs <= 0 {
 		panic("proto: Release on freed PktBuf")
@@ -72,6 +76,8 @@ type BufPool struct {
 // Get pops a buffer from the freelist (or allocates one on a cold pool)
 // and hands it out with a reference count of one and zero length. Capacity
 // is pre-sized to MaxPacketFlits so appending a packet never reallocates.
+//
+//stashsim:noalloc
 func (p *BufPool) Get() *PktBuf {
 	if n := len(p.free); n > 0 {
 		b := p.free[n-1]
@@ -82,6 +88,7 @@ func (p *BufPool) Get() *PktBuf {
 	}
 	p.news++
 	p.live++
+	//lint:allow allocfree -- cold-pool allocation; steady state is served from the freelist
 	return &PktBuf{Flits: make([]Flit, 0, MaxPacketFlits), refs: 1, pool: p}
 }
 

@@ -135,9 +135,11 @@ type Flit struct {
 }
 
 // Head reports whether f is a head flit.
+//stashsim:noalloc
 func (f *Flit) Head() bool { return f.Flags&FlagHead != 0 }
 
 // Tail reports whether f is a tail flit.
+//stashsim:noalloc
 func (f *Flit) Tail() bool { return f.Flags&FlagTail != 0 }
 
 // FlitSum computes the flit checksum over the fields that are immutable

@@ -25,6 +25,9 @@ func NewBarrier(n int) *Barrier {
 
 // Wait blocks until all n participants have called Wait for the current
 // phase, then releases them all and advances to the next phase.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func (b *Barrier) Wait() {
 	phase := b.phase.Load()
 	if b.arrived.Add(1) == b.n {

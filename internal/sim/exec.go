@@ -10,6 +10,12 @@ import (
 // executor one cycle of lookahead: values written at cycle t are never read
 // before cycle t+1, so disjoint partitions can step concurrently.
 type Stepper interface {
+	// Step advances the component one cycle. It runs concurrently with
+	// every other component's Step and must stay allocation-free in the
+	// steady state; both annotations propagate to implementations.
+	//
+	//stashsim:phase parallel
+	//stashsim:noalloc
 	Step(now Tick)
 }
 
@@ -106,6 +112,8 @@ func (e *Executor) aCount(w int) int {
 // (exclusive). Within each cycle every component steps exactly once,
 // bracketed by the PreCycle and PostCycle hooks. After Close, Run falls
 // back to the serial path (same results, no worker pool).
+//
+//stashsim:phase serial
 func (e *Executor) Run(from, to Tick) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -158,6 +166,8 @@ func (e *Executor) Run(from, to Tick) {
 }
 
 // runSerial is the single-goroutine path (workers <= 1, or after Close).
+//
+//stashsim:phase serial
 func (e *Executor) runSerial(from, to Tick) {
 	prof := e.Profiler
 	if prof == nil {
@@ -205,7 +215,12 @@ func (e *Executor) runSerial(from, to Tick) {
 
 // worker is the long-lived loop for one partition. It parks at the
 // cycle-entry barrier between cycles (and between Runs) and exits when
-// Close releases it with quit set.
+// Close releases it with quit set. This is the parallel cycle loop: the
+// phasecheck closure and the zero-alloc steady-state contract both root
+// here.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func (e *Executor) worker(lane int, mine []Stepper, aCount int, prof *ExecProfiler) {
 	for {
 		if prof == nil {
@@ -243,6 +258,8 @@ func (e *Executor) worker(lane int, mine []Stepper, aCount int, prof *ExecProfil
 
 // Close shuts down the worker goroutines. Calling Run after Close is safe:
 // it executes serially with identical results. Close is idempotent.
+//
+//stashsim:phase serial
 func (e *Executor) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()

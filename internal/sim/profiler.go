@@ -30,9 +30,12 @@ import (
 var profEpoch = time.Now()
 
 // nowNS returns monotonic nanoseconds since process start (profiling only).
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func nowNS() int64 {
-	//lint:allow determinism -- profiler-only wall clock; never feeds simulation state
-	return int64(time.Since(profEpoch))
+	//lint:allow allocfree -- time.Since is an allocation-free clock read
+	return int64(time.Since(profEpoch)) //lint:allow determinism -- profiler-only wall clock; never feeds simulation state
 }
 
 // Phase indexes one timed region of the executor cycle.
@@ -92,6 +95,9 @@ type PhaseHist struct {
 }
 
 // rec records one duration (negative clamps to zero).
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func (h *PhaseHist) rec(d int64) {
 	if d < 0 {
 		d = 0
@@ -158,6 +164,8 @@ type profRing struct {
 	slots  []atomic.Int64 // cycles × lanes × ringLaneWords
 }
 
+//stashsim:phase parallel
+//stashsim:noalloc
 func (r *profRing) put(cycle int64, lane int, start, d0, d1, d2, d3 int64) {
 	if r == nil {
 		return
@@ -246,6 +254,9 @@ func (p *ExecProfiler) Hist(lane int, ph Phase) *PhaseHist {
 
 // recWorker records one worker cycle's four sub-phase durations plus the
 // ring entry.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
 func (p *ExecProfiler) recWorker(cycle int64, lane int, start, dRel, dA, dB, dPub int64) {
 	l := &p.lanes[lane]
 	l[PhaseBarrierRelease].rec(dRel)
@@ -256,6 +267,8 @@ func (p *ExecProfiler) recWorker(cycle int64, lane int, start, dRel, dA, dB, dPu
 }
 
 // recCoord records one coordinator cycle: hooks, parallel span, wall.
+//
+//stashsim:phase serial
 func (p *ExecProfiler) recCoord(cycle int64, start, dPre, dSpan, dPost int64) {
 	l := &p.lanes[p.workers]
 	l[PhasePreHook].rec(dPre)
@@ -268,6 +281,8 @@ func (p *ExecProfiler) recCoord(cycle int64, start, dPre, dSpan, dPost int64) {
 
 // recSerial records one serial-path cycle on lane 0 plus the coordinator
 // hooks (no barrier phases exist on the serial path).
+//
+//stashsim:phase serial
 func (p *ExecProfiler) recSerial(cycle int64, start, dPre, dA, dB, dPost int64) {
 	l0 := &p.lanes[0]
 	l0[PhaseWorkA].rec(dA)

@@ -37,6 +37,8 @@ func (r *RNG) Derive(stream uint64) *RNG {
 }
 
 // Uint64 returns the next 64 uniformly random bits.
+//
+//stashsim:noalloc
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state
@@ -46,6 +48,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+//
+//stashsim:noalloc
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -58,16 +62,22 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Int63 returns a uniformly random non-negative int64.
+//
+//stashsim:noalloc
 func (r *RNG) Int63() int64 {
 	return int64(r.Uint64() >> 1)
 }
 
 // Float64 returns a uniformly random float64 in [0, 1).
+//
+//stashsim:noalloc
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Bernoulli returns true with probability p.
+//
+//stashsim:noalloc
 func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
@@ -84,6 +94,8 @@ func (r *RNG) Perm(n int) []int {
 }
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
+//
+//stashsim:noalloc
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask32 = 1<<32 - 1
 	a0, a1 := a&mask32, a>>32

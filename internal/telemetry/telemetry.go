@@ -93,6 +93,8 @@ func NewPublisher(build func() *Snapshot, every int64) *Publisher {
 
 // MaybePublish refreshes the snapshot at the publication interval. Called
 // once per cycle from the serial PostCycle hook.
+//
+//stashsim:phase serial -- build() walks live simulation state; only the coordinator may run it
 func (p *Publisher) MaybePublish(now int64) {
 	if p == nil {
 		return
@@ -103,6 +105,8 @@ func (p *Publisher) MaybePublish(now int64) {
 }
 
 // Publish forces an immediate refresh (end of run, signal dump).
+//
+//stashsim:phase serial -- build() walks live simulation state; only the coordinator may run it
 func (p *Publisher) Publish() {
 	if p == nil {
 		return
@@ -112,6 +116,8 @@ func (p *Publisher) Publish() {
 
 // Latest returns the most recently published snapshot (nil only for a
 // nil publisher).
+//
+//stashsim:phase parallel -- wait-free atomic pointer load; the HTTP goroutine's read side
 func (p *Publisher) Latest() *Snapshot {
 	if p == nil {
 		return nil
