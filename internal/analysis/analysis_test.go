@@ -95,7 +95,10 @@ func TestScopes(t *testing.T) {
 		{Determinism, "internal/sim", true},
 		{Determinism, "cmd/stashsim", true},
 		{Determinism, "examples/quickstart", true},
-		{Determinism, "internal/metrics", false},
+		{Determinism, "internal/metrics", true},
+		{Determinism, "internal/stats", true},
+		{Determinism, "internal/telemetry", false},
+		{Determinism, "internal/trace", false},
 		{Determinism, "internal/analysis", false},
 		{NilSafe, "internal/metrics", true},
 		{NilSafe, "internal/core", false},

@@ -47,6 +47,13 @@ var determinismPkgs = []string{
 	"internal/proto",
 	"internal/network",
 	"internal/topo",
+	// Collection paths added after the contract was first drawn: counter
+	// aggregation feeds summary output, and the stats containers back it.
+	// internal/telemetry stays out deliberately — it publishes on a
+	// wall-clock cadence to a background HTTP server and never feeds
+	// simulation state (see the package doc).
+	"internal/metrics",
+	"internal/stats",
 	"cmd/stashsim",
 	"cmd/figures",
 	"cmd/tracegen",

@@ -227,15 +227,16 @@ func (r *Registry) Totals() (names []string, values []int64) {
 	}
 	sums := make(map[string]int64)
 	r.mu.Lock()
-	for _, s := range r.scopes {
-		for n, c := range s.counters {
-			sums[n] += c.Value()
+	for _, sn := range r.sorder {
+		s := r.scopes[sn]
+		for _, cn := range s.corder {
+			if _, ok := sums[cn]; !ok {
+				names = append(names, cn)
+			}
+			sums[cn] += s.counters[cn].Value()
 		}
 	}
 	r.mu.Unlock()
-	for n := range sums {
-		names = append(names, n)
-	}
 	sort.Strings(names)
 	for _, n := range names {
 		values = append(values, sums[n])
@@ -253,8 +254,8 @@ func (r *Registry) Sum(name string) int64 {
 	var total int64
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, s := range r.scopes {
-		if c, ok := s.counters[name]; ok {
+	for _, sn := range r.sorder {
+		if c, ok := r.scopes[sn].counters[name]; ok {
 			total += c.Value()
 		}
 	}
