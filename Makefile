@@ -12,10 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: the stashlint analyzers machine-check
-# the determinism, nil-safety and panic-style contracts (see DESIGN.md,
-# "Correctness tooling"). Suppress a finding with
-# `//lint:allow <analyzer> -- reason`.
+# Project-specific static analysis: one stashlint process runs all six
+# analyzers (determinism, nilsafe, panicstyle, phasecheck, atomiccheck,
+# allocfree) over the whole module, cmd/ included. The last three
+# machine-check the executor's concurrency & zero-alloc contract (see
+# DESIGN.md, "Concurrency contract"); the scopes live next to each
+# analyzer. Suppress a finding with `//lint:allow <analyzer> -- reason`;
+# `-json` emits findings as JSON for tooling.
 lint:
 	$(GO) run ./cmd/stashlint ./...
 
