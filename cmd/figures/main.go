@@ -60,6 +60,7 @@ func main() {
 	dropRate := flag.Float64("link-drop-rate", 0, "per-packet drop probability injected into every experiment network")
 	outages := flag.String("link-outage", "", "outage windows (link@start-end, comma separated) injected into every experiment network")
 	stashFails := flag.String("stash-fail", "", "stash-bank failures (switch.port@cycle, comma separated) injected into every experiment network")
+	stashParity := flag.Int("stash-parity", 0, "erasure-code stash copies into XOR parity groups of this width on every e2e experiment network (0 = off)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep-level worker pool fanning out independent design points (tables are identical for any value)")
 	profileExec := flag.Bool("profile-exec", false, "profile per-phase executor time across every experiment network; report to stderr and, with -out, exec_profile.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,6 +104,7 @@ func main() {
 		Seed:            *seed,
 		Invariants:      *invariants,
 		InvariantsEvery: *invariantsEvery,
+		StashParity:     *stashParity,
 		Workers:         *workers,
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)

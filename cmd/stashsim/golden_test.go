@@ -30,6 +30,16 @@ var goldenSpecs = []struct {
 		Drain:      400000,
 		Invariants: true, InvariantsEvery: 64,
 	}},
+	{"tiny-parity", simSpec{
+		Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.25, MsgPkts: 1,
+		Cycles: 4000, Warmup: 500, Seed: 9,
+		DropRate: 6e-3, FaultSeed: 3,
+		StashFails:  "0.0@3000,0.1@3200,1.0@3400,1.1@3600,2.0@3800,2.1@4000",
+		StashParity: 4,
+		Drain:       400000,
+		Invariants:  true, InvariantsEvery: 64,
+	}},
 	{"tiny-ecn", simSpec{
 		Preset: "tiny", Mode: "congestion", CapFrac: 1.0,
 		Load: 0.4, MsgPkts: 2, Hotspots: 2, ECN: true,
@@ -46,6 +56,16 @@ var goldenSpecs = []struct {
 		Cycles: 1500, Warmup: 300, Seed: 13,
 		DropRate: 2e-3, FaultSeed: 5,
 		Drain: 400000,
+	}},
+	{"small-parity", simSpec{
+		Preset: "small", Mode: "e2e", CapFrac: 1.0,
+		Load: 0.2, MsgPkts: 1,
+		Cycles: 1500, Warmup: 300, Seed: 13,
+		DropRate: 8e-3, FaultSeed: 5,
+		StashFails:  "0.0@1200,0.1@1300,1.0@1400,1.1@1500,2.0@1600,2.1@1700",
+		StashParity: 4,
+		Drain:       400000,
+		Invariants:  true, InvariantsEvery: 64,
 	}},
 	{"small-ecn", simSpec{
 		Preset: "small", Mode: "congestion", CapFrac: 1.0,

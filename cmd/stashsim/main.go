@@ -79,6 +79,8 @@ type faultSummary struct {
 	CorruptPkts          int64   `json:"corrupt_pkts"`
 	RecoveredPkts        int64   `json:"recovered_pkts"`
 	RecoveryMeanNS       float64 `json:"recovery_mean_ns"`
+	StashReconstructed   int64   `json:"stash_copies_reconstructed"`
+	StashReconFailed     int64   `json:"stash_recon_failed"`
 	Drained              bool    `json:"drained"`
 }
 
@@ -114,6 +116,7 @@ func main() {
 	flag.StringVar(&sp.StashFails, "stash-fail", "", "stash-bank failures, comma-separated switch.port@cycle (e.g. 0.1@5000)")
 	flag.BoolVar(&sp.Retrans, "retrans", false, "enable recovery timers (auto-enabled when a plan drops packets in e2e mode)")
 	flag.BoolVar(&sp.StashBypass, "stash-bypass", false, "forward packets uncovered when the stash is full instead of stalling (endpoint timers recover)")
+	flag.IntVar(&sp.StashParity, "stash-parity", 0, "erasure-code stash copies into XOR parity groups of this width (0 = off; e2e mode only)")
 	flag.Int64Var(&sp.Drain, "drain", 0, "after the measured window, run up to this many unloaded cycles until every packet settles")
 	flag.IntVar(&sp.Workers, "workers", runtime.GOMAXPROCS(0), "cycle-level worker goroutines stepping the network (1 = serial; results are identical either way)")
 	assertDelivery := flag.Bool("assert-delivery", false, "with -drain, exit nonzero unless every injected packet delivered exactly once")
@@ -260,6 +263,10 @@ func main() {
 			fmt.Fprintf(out, "; recovered pkt latency mean %.0f ns", fs.RecoveryMeanNS)
 		}
 		fmt.Fprintln(out)
+		if cfg.StashParity > 0 {
+			fmt.Fprintf(out, "parity: %d groups sealed, %d copies reconstructed, %d lost past parity, %d degraded reads\n",
+				s.Counters.ParityGroupsSealed, fs.StashReconstructed, fs.StashReconFailed, s.Counters.StashDegradedReads)
+		}
 		if sp.Drain > 0 && !fs.Drained {
 			fmt.Fprintf(out, "warning: network did not drain within %d cycles\n", sp.Drain)
 		}

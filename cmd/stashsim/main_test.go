@@ -87,6 +87,14 @@ func TestWorkersDeterminism(t *testing.T) {
 			DropRate: 2e-3, CorruptRate: 1e-3, FaultSeed: 5,
 			Drain: 400000,
 		},
+		"parity-recon": {
+			Preset: "tiny", Mode: "e2e", CapFrac: 1.0,
+			Load: 0.25, MsgPkts: 1,
+			Cycles: 4000, Warmup: 0, Seed: 9,
+			DropRate: 4e-3, FaultSeed: 3,
+			StashFails: "0.0@1500,0.1@2000,1.0@2500", StashParity: 4,
+			Drain: 400000,
+		},
 		"ecn-congestion": {
 			Preset: "tiny", Mode: "congestion", CapFrac: 1.0,
 			Load: 0.4, MsgPkts: 2, Hotspots: 2, ECN: true,

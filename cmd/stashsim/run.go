@@ -52,6 +52,7 @@ type simSpec struct {
 	StashFails    string
 	Retrans       bool
 	StashBypass   bool
+	StashParity   int
 	Drain         int64
 }
 
@@ -148,6 +149,7 @@ func (sp *simSpec) config() (*core.Config, error) {
 		}
 	}
 	cfg.StashBypass = sp.StashBypass
+	cfg.StashParity = sp.StashParity
 	return cfg, nil
 }
 
@@ -281,6 +283,8 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 			CorruptPkts:          col.CorruptPkts,
 			RecoveredPkts:        col.RecoveredPkts,
 			RecoveryMeanNS:       rec.Mean() / 1.3,
+			StashReconstructed:   s.Counters.StashReconstructed,
+			StashReconFailed:     s.Counters.StashReconFailed,
 			Drained:              drained,
 		}
 	}

@@ -45,6 +45,13 @@ type StashPool struct {
 	// reports completion for them.
 	dead map[uint64]uint8
 
+	// parity counts the flits of XOR parity runs placed in this bank by
+	// the switch's ParityTracker. Parity occupies real space — it competes
+	// with copies for capacity and JSQ credits — and is accounted like a
+	// resident copy: minted into Used/PresentFlits by AddParity, moved to
+	// freed by DropParity.
+	parity int
+
 	// Congestion-mitigation bookkeeping: stashed packets queued for
 	// retrieval in FIFO order.
 	retrQ Ring
@@ -75,10 +82,11 @@ func NewStashPool(capacity int, retainPayload bool) *StashPool {
 //stashsim:noalloc
 func (p *StashPool) Capacity() int { return p.capacity }
 
-// Used returns the committed occupancy (reserved plus present) in flits.
+// Used returns the committed occupancy (reserved plus present plus
+// parity) in flits.
 //
 //stashsim:noalloc
-func (p *StashPool) Used() int { return p.used + p.reserved }
+func (p *StashPool) Used() int { return p.used + p.reserved + p.parity }
 
 // Reserved returns the flits committed for granted packets whose flits
 // have not all arrived yet.
@@ -161,12 +169,14 @@ func (p *StashPool) PutCopy(f proto.Flit) bool {
 // Delete frees the space of a completed stash copy (positive ACK seen at
 // the originating end port). It is idempotent: deleting a copy that is
 // not live — already deleted, or invalidated by a bank failure — is a
-// no-op, so racing sideband messages cannot underflow the pool.
+// no-op, so racing sideband messages cannot underflow the pool. It
+// reports whether a copy was actually freed, so the caller can keep
+// parity-group membership in sync without double-processing races.
 //
 //stashsim:noalloc
-func (p *StashPool) Delete(pktID uint64, size int) {
+func (p *StashPool) Delete(pktID uint64, size int) bool {
 	if _, ok := p.copies[pktID]; !ok {
-		return
+		return false
 	}
 	delete(p.copies, pktID)
 	p.used -= size
@@ -180,7 +190,110 @@ func (p *StashPool) Delete(pktID uint64, size int) {
 			b.Release()
 		}
 	}
+	return true
 }
+
+// CopySize returns the flit count of a live completed copy.
+//
+//stashsim:noalloc
+func (p *StashPool) CopySize(pktID uint64) (uint8, bool) {
+	size, ok := p.copies[pktID]
+	return size, ok
+}
+
+// ExtractCopy removes a live completed copy from the pool without
+// releasing its retained payload: ownership of the buffer (when payloads
+// are retained) transfers to the caller, which carries it through an
+// in-flight parity reconstruction and either InstallCopy's it into the
+// target bank or Releases it. Conservation-wise the flits are destroyed
+// here (freed) and re-minted by the installer, so a copy in flight
+// between banks is accounted exactly like a reconstructed one.
+func (p *StashPool) ExtractCopy(pktID uint64) (*proto.PktBuf, bool) {
+	size, ok := p.copies[pktID]
+	if !ok {
+		return nil, false
+	}
+	delete(p.copies, pktID)
+	p.used -= int(size)
+	p.freed += int64(size)
+	if p.used < 0 {
+		panic("buffer: stash pool extract underflow")
+	}
+	var b *proto.PktBuf
+	if p.retainPayload {
+		if b = p.store[pktID]; b != nil {
+			delete(p.store, pktID)
+		}
+	}
+	return b, true
+}
+
+// InstallCopy converts a prior Reserve into a live completed copy: the
+// landing point of a parity reconstruction. The buffer, when non-nil,
+// becomes the store entry (the pool takes over the caller's reference).
+//
+//stashsim:noalloc
+func (p *StashPool) InstallCopy(pktID uint64, size int, b *proto.PktBuf) {
+	p.reserved -= size
+	p.used += size
+	if p.reserved < 0 {
+		panic("buffer: stash pool install without reservation")
+	}
+	if p.copies == nil {
+		//lint:allow allocfree -- one-time lazy init of the live-copy map
+		p.copies = make(map[uint64]uint8)
+	}
+	p.copies[pktID] = uint8(size)
+	if b != nil && p.retainPayload {
+		if p.store == nil {
+			//lint:allow allocfree -- one-time lazy init of the retention map
+			p.store = make(map[uint64]*proto.PktBuf)
+		}
+		p.store[pktID] = b
+	}
+}
+
+// Unreserve releases a reservation whose copy will never arrive (an
+// aborted reconstruction).
+//
+//stashsim:noalloc
+func (p *StashPool) Unreserve(size int) {
+	p.reserved -= size
+	if p.reserved < 0 {
+		panic("buffer: stash pool unreserve underflow")
+	}
+}
+
+// AddParity commits space for a parity flit run minted by the switch's
+// parity tracker. Callers gate on Free; AddParity panics on overflow.
+//
+//stashsim:noalloc
+func (p *StashPool) AddParity(size int) {
+	if p.Free() < size {
+		panic("buffer: stash pool parity over-commit")
+	}
+	p.parity += size
+	if p.Used() > p.PeakUsed {
+		p.PeakUsed = p.Used()
+	}
+}
+
+// DropParity destroys a parity flit run (its group emptied, dissolved,
+// or its bank failed); the flits move to the freed ledger.
+//
+//stashsim:noalloc
+func (p *StashPool) DropParity(size int) {
+	p.parity -= size
+	p.freed += int64(size)
+	if p.parity < 0 {
+		panic("buffer: stash pool parity underflow")
+	}
+}
+
+// ParityFlits returns the live parity flits resident in this bank.
+//
+//stashsim:noalloc
+func (p *StashPool) ParityFlits() int { return p.parity }
 
 // Live reports whether a completed copy of the packet is resident.
 //
@@ -334,10 +447,11 @@ func (p *StashPool) RetrLen() int { return p.retrQ.Len() }
 
 // PresentFlits returns the number of flits physically resident in the
 // pool for the invariant checker's conservation audit: the committed
-// occupancy plus the retransmission copies queued in retrQ that do not
-// own pool space. Reserved (granted but not yet arrived) space is
-// excluded — those flits are still in flight inside the switch.
-func (p *StashPool) PresentFlits() int { return p.used + p.retrCopies }
+// occupancy, the parity flit runs, plus the retransmission copies queued
+// in retrQ that do not own pool space. Reserved (granted but not yet
+// arrived) space is excluded — those flits are still in flight inside
+// the switch.
+func (p *StashPool) PresentFlits() int { return p.used + p.retrCopies + p.parity }
 
 // FreedFlits returns the cumulative number of flits released by Delete,
 // the stash-side destruction term of the conservation law.

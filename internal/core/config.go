@@ -16,11 +16,16 @@ package core
 import (
 	"fmt"
 
+	"stashsim/internal/buffer"
 	"stashsim/internal/fault"
 	"stashsim/internal/proto"
 	"stashsim/internal/route"
 	"stashsim/internal/topo"
 )
+
+// MaxStashParity bounds Config.StashParity; it mirrors the buffer layer's
+// fixed parity-group slab width.
+const MaxStashParity = buffer.MaxParityWidth
 
 // StashMode selects which use case (if any) drives the stash buffers.
 type StashMode uint8
@@ -199,6 +204,15 @@ type Config struct {
 	// Retrans.Enabled.
 	StashBypass bool
 
+	// StashParity, when positive, stripes completed end-to-end stash
+	// copies into parity groups of this width k with one XOR parity flit
+	// run per group, stored in a bank outside the member set. A single
+	// lost member (bank failure, busy-bank read) is then reconstructed
+	// from the k-1 survivors + parity instead of degrading to endpoint
+	// retransmission. 0 (the default) disables erasure coding entirely.
+	// Requires StashE2E and at least k+1 stash-capable banks.
+	StashParity int
+
 	Seed uint64
 }
 
@@ -259,6 +273,22 @@ func (c *Config) Validate() error {
 	}
 	if c.StashBypass && !c.Retrans.Enabled {
 		return fmt.Errorf("core: stash bypass forwards uncovered packets and requires retransmission timers")
+	}
+	if c.StashParity != 0 {
+		if c.StashParity < 2 || c.StashParity > MaxStashParity {
+			return fmt.Errorf("core: stash parity width %d outside [2, %d]", c.StashParity, MaxStashParity)
+		}
+		if c.Mode != StashE2E {
+			return fmt.Errorf("core: stash parity groups require end-to-end stashing mode")
+		}
+		// Members occupy k distinct banks and the parity flit run a
+		// further one; only endpoint and local ports contribute stash
+		// capacity.
+		banks := c.Topo.P + c.Topo.A - 1
+		if banks < c.StashParity+1 {
+			return fmt.Errorf("core: stash parity width %d needs %d stash-capable banks, topology has %d",
+				c.StashParity, c.StashParity+1, banks)
+		}
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return err

@@ -207,7 +207,17 @@ func (s *Switch) stepRowBus(now sim.Tick, p *inPort) {
 		// four-port scenario the two-bank organization of Section III-B
 		// resolves.
 		if !s.out[p.id].mem.Request(now, buffer.ReadStash) {
-			return
+			// Busy-bank conflict. With parity groups, a read of a member
+			// of a sealed group is served degraded instead: the flit is
+			// reconstructed by XOR of the k-1 survivors + parity sitting
+			// in other (idle) banks — Cohen & Cassuto's coded-read case.
+			// The survivors' bank budgets are not charged; the model
+			// claims only that the conflicted bank is not touched.
+			if s.parity == nil || !s.parity.CanServeDegraded(pool.RetrFront().PktID) {
+				return
+			}
+			s.Counters.StashDegradedReads++
+			s.m.degradedReads.Inc()
 		}
 		f := pool.RetrPop()
 		s.Counters.StashRetrieves++

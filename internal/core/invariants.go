@@ -31,6 +31,14 @@ import (
 //  5. Stash liveness: every payload buffer a stash bank references is
 //     still alive — a bank holding a buffer that has been returned to
 //     the freelist would serve recycled (corrupt) flits on retrieval.
+//     With parity groups enabled the law extends to erasure coding:
+//     every live parity flit's group is accounted — per-bank parity
+//     occupancy equals the sealed groups' parity placed there, every
+//     group member is a live completed copy in its recorded bank, the
+//     membership index is consistent, and no in-flight reconstruction
+//     carries a freed payload buffer. (Parity flits enter conservation
+//     through the pools' PresentFlits/FreedFlits and the switches'
+//     created counts, so law 1 already balances them.)
 //
 // The laws are state-based, so sparse audits (Every > 1) still converge
 // on any corruption the next time they run. On the first violation the
@@ -86,6 +94,7 @@ func (iv *Invariants) Check(now sim.Tick) {
 	iv.checkCredits(now)
 	iv.checkStash(now)
 	iv.checkStashRefs(now)
+	iv.checkParity(now)
 }
 
 // checkConservation enforces laws 1 and the link half of law 4.
@@ -230,6 +239,52 @@ func (iv *Invariants) checkStashRefs(now sim.Tick) {
 				iv.fail(now, s, fmt.Sprintf(
 					"stash liveness: sw%d port %d bank references freed buffer for pkt %#x",
 					s.ID, p, bad))
+			}
+		}
+	}
+}
+
+// checkParity enforces the erasure-coding half of law 5 on switches with
+// parity groups enabled.
+func (iv *Invariants) checkParity(now sim.Tick) {
+	for _, s := range iv.Switches {
+		t := s.parity
+		if t == nil {
+			continue
+		}
+		perBank := make([]int, s.radix)
+		members := 0
+		t.AuditParity(func(parityBank, paritySize int) {
+			if parityBank < 0 || parityBank >= s.radix {
+				iv.fail(now, s, fmt.Sprintf(
+					"parity accounting: sw%d sealed group names bank %d outside the radix", s.ID, parityBank))
+			}
+			perBank[parityBank] += paritySize
+		}, func(pktID uint64, bank int) {
+			members++
+			if bank < 0 || bank >= s.radix || !s.stash[bank].Live(pktID) {
+				iv.fail(now, s, fmt.Sprintf(
+					"parity membership: sw%d group member pkt %#x is not a live copy in bank %d",
+					s.ID, pktID, bank))
+			}
+		})
+		for p, pool := range s.stash {
+			if pool.ParityFlits() != perBank[p] {
+				iv.fail(now, s, fmt.Sprintf(
+					"parity accounting: sw%d port %d holds %d parity flits, groups account %d",
+					s.ID, p, pool.ParityFlits(), perBank[p]))
+			}
+		}
+		if members != t.Members() {
+			iv.fail(now, s, fmt.Sprintf(
+				"parity membership: sw%d index tracks %d members, groups hold %d",
+				s.ID, t.Members(), members))
+		}
+		for i := range s.reconQ {
+			if b := s.reconQ[i].buf; b != nil && b.Freed() {
+				iv.fail(now, s, fmt.Sprintf(
+					"parity reconstruction: sw%d in-flight rebuild of pkt %#x references a freed buffer",
+					s.ID, s.reconQ[i].pktID))
 			}
 		}
 	}

@@ -120,6 +120,14 @@ func (s *Switch) stashArrival(now sim.Tick, op *outPort, f proto.Flit) {
 	}
 	if f.Flags&proto.FlagStashCopy != 0 {
 		if pool.PutCopy(f) {
+			if s.parity != nil {
+				// The completed copy enrolls into a parity group; filling
+				// one mints its XOR parity flit run in another bank.
+				minted, sealed := s.parity.OnStore(f.PktID, f.Size, op.id)
+				s.created += int64(minted)
+				s.Counters.ParityGroupsSealed += int64(sealed)
+				s.m.paritySealed.Add(int64(sealed))
+			}
 			origin := int(f.Src) % s.cfg.Topo.P
 			s.sbSend(now, sbLocation, f.PktID, uint8(origin), uint8(op.id), f.Size)
 		}

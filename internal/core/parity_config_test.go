@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestConfigValidateStashParity covers the erasure-coding knob: the group
+// width must fit the bank budget (k members plus one parity flit run, all
+// in distinct banks) and only makes sense with end-to-end stashing.
+func TestConfigValidateStashParity(t *testing.T) {
+	ok := TinyConfig() // P=2, A=4: 5 stash-capable banks per switch
+	ok.Mode = StashE2E
+	ok.StashParity = 4
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"width-one":      func(c *Config) { c.StashParity = 1 },
+		"width-over-max": func(c *Config) { c.StashParity = MaxStashParity + 1 },
+		"not-e2e":        func(c *Config) { c.Mode = StashOff },
+		"too-few-banks":  func(c *Config) { c.StashParity = 5 }, // needs 6 banks, tiny has 5
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := TinyConfig()
+			cfg.Mode = StashE2E
+			cfg.StashParity = 4
+			mutate(cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("invalid parity config accepted: %+v", cfg.StashParity)
+			}
+		})
+	}
+}

@@ -97,7 +97,14 @@ func (s *Switch) stepSideband(now sim.Tick) {
 		case sbLocation:
 			s.onLocation(now, m)
 		case sbDelete:
-			s.stash[m.dst].Delete(m.pktID, int(m.size))
+			if s.stash[m.dst].Delete(m.pktID, int(m.size)) && s.parity != nil {
+				// The freed member leaves its parity group; freed space
+				// may also let a deferred group seal.
+				minted, sealed := s.parity.OnDelete(m.pktID)
+				s.created += int64(minted)
+				s.Counters.ParityGroupsSealed += int64(sealed)
+				s.m.paritySealed.Add(int64(sealed))
+			}
 		case sbRetransmit:
 			s.retransmit(now, int(m.dst), m.pktID)
 		}
@@ -259,34 +266,165 @@ func (s *Switch) stepRetry(now sim.Tick) {
 	s.retryQ = append(s.retryQ[:w], s.retryQ[n:]...)
 }
 
-// FailStashBank injects a stash-bank failure at the given port: every
-// live end-to-end copy in the pool is invalidated and its tracking entry
-// marked lost, degrading those packets to endpoint-timer recovery. It
-// returns the number of copies lost.
+// findEntry locates the tracking entry of a packet across the end ports,
+// returning the entry and its port (-1 when untracked).
 //
-//stashsim:phase serial -- fault injection runs from the harness between cycles, never inside Step
-func (s *Switch) FailStashBank(now sim.Tick, port int) int {
-	lost := s.stash[port].FailBank()
-	for _, pktID := range lost {
-		for p := range s.track {
-			e := s.track[p][pktID]
-			if e == nil {
-				continue
-			}
-			if e.acked {
-				// The ACK already settled delivery and was waiting for
-				// the location report to free the copy; the failure
-				// freed it, so the entry is complete.
-				s.dropEntry(p, pktID, e)
-			} else {
-				e.lost = true
-				e.stashPort = -1
-			}
-			break
+//stashsim:noalloc
+func (s *Switch) findEntry(pktID uint64) (*e2eEntry, int) {
+	for p := range s.track {
+		if e := s.track[p][pktID]; e != nil {
+			return e, p
 		}
 	}
-	s.Counters.StashCopiesLost += int64(len(lost))
-	return len(lost)
+	return nil, -1
+}
+
+// reconRec is one in-flight parity reconstruction: at due, the rebuilt
+// copy (payload carried in buf when retention is on) lands in the target
+// bank and a fresh location report heads to the originating end port.
+// Records are appended only by the serial fault hook (FailStashBank) and
+// drained by Step, so the queue is partition-private like retryQ.
+//
+//stashsim:owner partition
+type reconRec struct {
+	due    int64
+	pktID  uint64
+	size   uint8
+	origin uint8          // end port owning the tracking entry at begin time
+	target uint8          // bank receiving the rebuilt copy (space reserved)
+	buf    *proto.PktBuf  // retained payload extracted from the failed bank; may be nil
+}
+
+// FailStashBank injects a stash-bank failure at the given port. With
+// parity groups enabled, the middle rung of the recovery ladder fires
+// first: every completed copy in the failing bank that belongs to a
+// sealed group — and still covers an unsettled tracked packet — is
+// rebuilt from its k-1 survivors + parity into another bank, after a
+// latency modeling the side-band reads. Everything else is invalidated
+// and its tracking entry marked lost, degrading those packets to
+// endpoint-timer recovery exactly as before. It returns the number of
+// copies the failure destroyed (reconstructed or not) and how many of
+// them were scheduled for reconstruction.
+//
+//stashsim:phase serial -- fault injection runs from the harness between cycles, never inside Step
+func (s *Switch) FailStashBank(now sim.Tick, port int) (lost, reconstructed int) {
+	pool := s.stash[port]
+	if s.parity != nil {
+		for _, pktID := range s.parity.FailCandidates(port) {
+			e, ep := s.findEntry(pktID)
+			if e == nil || e.acked || e.lost || e.recon {
+				continue // settled, already degraded, or rebuilding: nothing to protect
+			}
+			size, ok := pool.CopySize(pktID)
+			if !ok {
+				continue // membership implies a completed copy; defensive
+			}
+			target, ok := s.parity.PickTarget(pktID, int(size), port)
+			if !ok {
+				continue // no bank can hold the rebuild: degrade to endpoint recovery
+			}
+			buf, _ := pool.ExtractCopy(pktID)
+			s.stash[target].Reserve(int(size))
+			s.parity.BeginRecon(pktID)
+			e.recon = true
+			e.stashPort = -1
+			// The rebuild reads the k-1 surviving members plus parity over
+			// the side band: one side-band traversal plus a flit-serial XOR
+			// pass over the survivors.
+			due := now + s.cfg.SidebandLat + int64(s.cfg.StashParity-1)*int64(size)
+			s.reconQ = append(s.reconQ, reconRec{
+				due: due, pktID: pktID, size: size,
+				origin: uint8(ep), target: uint8(target), buf: buf,
+			})
+			reconstructed++
+		}
+	}
+	lostIDs := pool.FailBank()
+	for _, pktID := range lostIDs {
+		if s.parity != nil {
+			minted, sealed, protected := s.parity.OnCopyLost(pktID)
+			s.created += int64(minted)
+			s.Counters.ParityGroupsSealed += int64(sealed)
+			s.m.paritySealed.Add(int64(sealed))
+			if protected {
+				s.Counters.StashReconFailed++
+				s.m.reconFailed.Inc()
+			}
+		}
+		e, p := s.findEntry(pktID)
+		if e == nil {
+			continue
+		}
+		if e.acked {
+			// The ACK already settled delivery and was waiting for the
+			// location report to free the copy; the failure freed it, so
+			// the entry is complete.
+			s.dropEntry(p, pktID, e)
+		} else {
+			e.lost = true
+			e.stashPort = -1
+		}
+	}
+	if s.parity != nil {
+		// Space freed by the failure may let deferred groups seal; retried
+		// only now so fresh parity was never placed into the failing bank.
+		minted, sealed := s.parity.RetrySeals()
+		s.created += int64(minted)
+		s.Counters.ParityGroupsSealed += int64(sealed)
+		s.m.paritySealed.Add(int64(sealed))
+	}
+	lost = len(lostIDs) + reconstructed
+	s.Counters.StashCopiesLost += int64(lost)
+	s.Counters.StashReconstructed += int64(reconstructed)
+	s.m.reconStarted.Add(int64(reconstructed))
+	return lost, reconstructed
+}
+
+// stepRecon completes due parity reconstructions, compacting the queue in
+// place (records are only appended between cycles by the serial fault
+// hook, so the scan never races an insertion).
+//
+//stashsim:noalloc
+func (s *Switch) stepRecon(now sim.Tick) {
+	w := 0
+	for i := 0; i < len(s.reconQ); i++ {
+		rec := s.reconQ[i]
+		if rec.due > now {
+			s.reconQ[w] = rec
+			w++
+			continue
+		}
+		s.finishRecon(now, rec)
+	}
+	s.reconQ = s.reconQ[:w]
+}
+
+// finishRecon lands one rebuilt copy: the reservation converts into a
+// live copy in the target bank, the copy re-enrolls into a fresh parity
+// group, and a location report re-enters the normal ACK/delete machinery
+// at the originating end port (any ACK/NACK that raced the rebuild is
+// resolved there exactly like a raced location report). When the tracked
+// entry settled — or was replaced by a fresh source retransmission —
+// while the rebuild was in flight, the orphan copy is dropped instead.
+//
+//stashsim:noalloc
+func (s *Switch) finishRecon(now sim.Tick, rec reconRec) {
+	e, ep := s.findEntry(rec.pktID)
+	if e == nil || !e.recon || ep != int(rec.origin) {
+		s.stash[rec.target].Unreserve(int(rec.size))
+		if rec.buf != nil {
+			rec.buf.Release()
+		}
+		return
+	}
+	e.recon = false
+	s.stash[rec.target].InstallCopy(rec.pktID, int(rec.size), rec.buf)
+	s.created += int64(rec.size)
+	minted, sealed := s.parity.OnStore(rec.pktID, rec.size, int(rec.target))
+	s.created += int64(minted)
+	s.Counters.ParityGroupsSealed += int64(sealed)
+	s.m.paritySealed.Add(int64(sealed))
+	s.sbSend(now, sbLocation, rec.pktID, rec.origin, rec.target, rec.size)
 }
 
 // retransmit re-injects a retained stash copy into the network from the

@@ -37,6 +37,12 @@ type Counters struct {
 	RetryAbandoned  int64 // tracked packets abandoned after retry exhaustion or copy loss
 	StashCopiesLost int64 // live stash copies invalidated by injected bank failures
 	StashBypassed   int64 // packets forwarded without a stash copy (bypass on full stash)
+
+	// Erasure-coded stash banks (StashParity > 0).
+	StashReconstructed int64 // bank-failed copies scheduled for rebuild from parity-group survivors
+	StashReconFailed   int64 // parity-protected copies lost anyway (no rebuild space, or >=2 group losses)
+	ParityGroupsSealed int64 // parity groups sealed (one XOR parity flit run minted each)
+	StashDegradedReads int64 // stash read flits served via parity despite a busy bank
 }
 
 // switchMetrics holds the per-switch registry handles. It is a value
@@ -53,6 +59,10 @@ type switchMetrics struct {
 	stashStores     *metrics.Counter   // flits written into stash pools
 	stashRetrieves  *metrics.Counter   // flits read back out of stash pools
 	stashFullStalls *metrics.Counter   // cycles an input stalled on storage-path backpressure
+	reconStarted    *metrics.Counter   // parity reconstructions begun after bank failures
+	reconFailed     *metrics.Counter   // parity-protected copies lost without reconstruction
+	paritySealed    *metrics.Counter   // parity groups sealed
+	degradedReads   *metrics.Counter   // stash read flits served via parity on busy banks
 	jsqPick         []*metrics.Counter // JSQ column-pick distribution (per tile column)
 }
 
@@ -161,6 +171,7 @@ type e2eEntry struct {
 	deadline int64 // cycle the armed ACK timer fires; doubles per retry
 	retries  uint8 // stash resends attempted so far
 	lost     bool  // the stash copy was invalidated by a bank failure
+	recon    bool  // a parity reconstruction of the copy is in flight
 }
 
 // retryRec is one armed switch-side ACK timer. Records live in an
@@ -204,6 +215,13 @@ type Switch struct {
 	sideband sbRing
 	track    []map[uint64]*e2eEntry // per end port
 	retryQ   []retryRec             // armed switch-side ACK timers
+
+	// Erasure-coded stash banks (cfg.StashParity > 0): parity tracks the
+	// groups striped across this switch's banks; reconQ holds in-flight
+	// reconstructions of bank-failed members (populated only by the serial
+	// fault hook, drained by Step).
+	parity *buffer.ParityTracker
+	reconQ []reconRec
 
 	// Active-set masks: tileOcc has a bit per tile with queued flits, muxOcc
 	// a bit per output port with occupied column buffers, inActive a bit per
@@ -316,6 +334,9 @@ func NewSwitch(id int, cfg *Config, rng *sim.RNG) *Switch {
 	for p := 0; p < d.P; p++ {
 		s.track[p] = make(map[uint64]*e2eEntry)
 	}
+	if cfg.StashParity > 0 {
+		s.parity = buffer.NewParityTracker(cfg.StashParity, s.stash)
+	}
 	return s
 }
 
@@ -389,6 +410,14 @@ func (s *Switch) StashCapTotal() int {
 
 // PortStash exposes a port's stash pool for tests and probes.
 func (s *Switch) PortStash(port int) *buffer.StashPool { return s.stash[port] }
+
+// Parity exposes the parity tracker (nil unless StashParity > 0) for
+// tests and probes.
+func (s *Switch) Parity() *buffer.ParityTracker { return s.parity }
+
+// PendingReconstructions returns the number of in-flight parity rebuilds,
+// reported by the stall watchdog's Note hook during bank-failure drains.
+func (s *Switch) PendingReconstructions() int { return len(s.reconQ) }
 
 // TrackedPackets returns the number of outstanding end-to-end tracking
 // entries across all end ports.
@@ -470,6 +499,12 @@ func (s *Switch) EnableMetrics(reg *metrics.Registry) {
 		stashRetrieves:  sc.Counter("stash.retrieves"),
 		stashFullStalls: sc.Counter("stash.full.stalls"),
 		jsqPick:         make([]*metrics.Counter, s.cfg.Cols),
+	}
+	if s.parity != nil {
+		s.m.reconStarted = sc.Counter("stash.recon.started")
+		s.m.reconFailed = sc.Counter("stash.recon.failed")
+		s.m.paritySealed = sc.Counter("stash.parity.sealed")
+		s.m.degradedReads = sc.Counter("stash.degraded.reads")
 	}
 	for c := range s.m.jsqPick {
 		s.m.jsqPick[c] = sc.Counter(fmt.Sprintf("jsq.pick.col%d", c))
@@ -572,6 +607,9 @@ var _ sim.Stepper = (*Switch)(nil)
 func (s *Switch) Step(now sim.Tick) {
 	s.m.cycles.Inc()
 	s.stepRetry(now)
+	if len(s.reconQ) > 0 {
+		s.stepRecon(now)
+	}
 	if s.sideband.n > 0 {
 		s.stepSideband(now)
 	}

@@ -91,9 +91,17 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: outage window [%d,%d) on %s is empty or negative", o.Start, o.End, o.Link)
 		}
 	}
-	for _, sf := range p.StashFailures {
+	for i, sf := range p.StashFailures {
 		if sf.Switch < 0 || sf.Port < 0 || sf.At < 0 {
 			return fmt.Errorf("fault: negative stash-failure coordinates %+v", sf)
+		}
+		// Duplicate coordinates would double-fire the bank-failure event:
+		// the second firing finds an empty bank, but double-counts the
+		// event and, with parity enabled, would double-process groups.
+		for _, prev := range p.StashFailures[:i] {
+			if prev == sf {
+				return fmt.Errorf("fault: duplicate stash-failure %d.%d@%d", sf.Switch, sf.Port, sf.At)
+			}
 		}
 	}
 	return nil
@@ -113,6 +121,10 @@ type Stats struct {
 	// StashCopiesLost counts live end-to-end copies invalidated by
 	// stash-bank failures.
 	StashCopiesLost int64
+	// StashCopiesReconstructed counts the subset of StashCopiesLost
+	// rebuilt from parity-group survivors instead of degrading to
+	// endpoint retransmission (StashParity configurations only).
+	StashCopiesReconstructed int64
 }
 
 // merge folds another stats value into s.
@@ -122,6 +134,7 @@ func (s *Stats) merge(o Stats) {
 	s.OutagePkts += o.OutagePkts
 	s.FlitsCorrupted += o.FlitsCorrupted
 	s.StashCopiesLost += o.StashCopiesLost
+	s.StashCopiesReconstructed += o.StashCopiesReconstructed
 }
 
 // Injector materializes a plan: it hands out per-link fault state at
@@ -219,6 +232,12 @@ func (in *Injector) AddStashCopiesLost(n int64) {
 	in.local.StashCopiesLost += n
 }
 
+// AddStashReconstructed records copies scheduled for parity
+// reconstruction after a stash-bank failure, on the coordinator shard.
+func (in *Injector) AddStashReconstructed(n int64) {
+	in.local.StashCopiesReconstructed += n
+}
+
 // UnmatchedOutages returns the outage link names that no wired link
 // claimed — almost certainly a typo in the plan. Call after wiring.
 func (in *Injector) UnmatchedOutages() []string {
@@ -263,6 +282,24 @@ func (in *Injector) OutageNote(from, to int64) string {
 	for _, o := range in.plan.Outages {
 		if o.Start <= to && o.End > from {
 			return fmt.Sprintf("outage active on link %s [%d,%d)", o.Link, o.Start, o.End)
+		}
+	}
+	return ""
+}
+
+// StashFailNote returns a human-readable description of a recent
+// stash-bank failure whose drain could plausibly still be in progress —
+// one scheduled inside [from, to] or in the window of equal length just
+// before it — or "" when none is. Like OutageNote, the stall watchdog
+// uses it so bank-failure recovery does not masquerade as a stall.
+func (in *Injector) StashFailNote(from, to int64) string {
+	if in == nil {
+		return ""
+	}
+	lo := from - (to - from)
+	for _, sf := range in.fails {
+		if sf.At >= lo && sf.At <= to {
+			return fmt.Sprintf("stash-bank failure at sw%d.%d@%d still draining", sf.Switch, sf.Port, sf.At)
 		}
 	}
 	return ""

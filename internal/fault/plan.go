@@ -70,7 +70,10 @@ func ParseOutages(spec string) ([]Outage, error) {
 }
 
 // ParseStashFails parses a comma-separated flag spec of stash-bank
-// failures, each "switch.port@cycle", e.g. "0.1@5000,3.0@9000".
+// failures, each "switch.port@cycle", e.g. "0.1@5000,3.0@9000". Listing
+// the same switch.port@cycle twice is rejected: the duplicate would
+// double-fire the bank-failure event (Plan.Validate enforces the same
+// rule on JSON plans).
 func ParseStashFails(spec string) ([]StashFail, error) {
 	if spec == "" {
 		return nil, nil
@@ -102,7 +105,13 @@ func ParseStashFails(spec string) ([]StashFail, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stash-fail %q: bad cycle: %w", item, err)
 		}
-		out = append(out, StashFail{Switch: sw, Port: port, At: cycle})
+		sf := StashFail{Switch: sw, Port: port, At: cycle}
+		for _, prev := range out {
+			if prev == sf {
+				return nil, fmt.Errorf("stash-fail %q: duplicate failure coordinates", item)
+			}
+		}
+		out = append(out, sf)
 	}
 	return out, nil
 }

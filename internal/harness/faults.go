@@ -22,8 +22,15 @@ import (
 // endpoint's — that gap is the supplemental-storage argument of the paper
 // extended to reliability.
 //
+// Every variant's plan also fires four staggered stash-bank failures
+// mid-measure. Under the stashless baseline they are no-ops; under plain
+// StashLocal each invalidated copy silently degrades its packet to the
+// endpoint ladder; under StashParity (the erasure-coded tier, k=4) the
+// lost copies rebuild from parity-group survivors, keeping recovery
+// stash-local — the _Recon column counts those rebuilds.
+//
 // Every run drains fully and asserts exactly-once delivery; a row is an
-// error if either variant loses or double-delivers a packet.
+// error if any variant loses or double-delivers a packet.
 func Faults(o *Options) (*stats.Table, error) {
 	rates := []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2}
 	if o.Quick {
@@ -33,24 +40,35 @@ func Faults(o *Options) (*stats.Table, error) {
 	meas := o.scaleDur(20000)
 	const drainBudget = 2_000_000
 
+	// Four bank failures on distinct switches, staggered through the
+	// middle of the measured window (every preset has >= 4 switches).
+	var fails []fault.StashFail
+	for i := 0; i < 4; i++ {
+		fails = append(fails, fault.StashFail{
+			Switch: i, Port: 0, At: warm + meas/4 + int64(i)*meas/8})
+	}
+
 	type variant struct {
-		name string
-		mode core.StashMode
+		name   string
+		mode   core.StashMode
+		parity int
 	}
 	variants := []variant{
-		{"StashLocal", core.StashE2E},
-		{"Endpoint", core.StashOff},
+		{"StashLocal", core.StashE2E, 0},
+		{"StashParity", core.StashE2E, 4},
+		{"Endpoint", core.StashOff, 0},
 	}
 
 	t := &stats.Table{Header: []string{"DropRate"}}
 	for _, v := range variants {
 		t.Header = append(t.Header,
-			v.name+"_RecLat_us", v.name+"_Recovered", v.name+"_Resends", v.name+"_Dups")
+			v.name+"_RecLat_us", v.name+"_Recovered", v.name+"_Resends", v.name+"_Dups",
+			v.name+"_Recon")
 	}
 
 	// Every (rate, variant) pair is an independent design point producing
-	// four table cells.
-	cells := make([][4]string, len(rates)*len(variants))
+	// five table cells.
+	cells := make([][5]string, len(rates)*len(variants))
 	err := o.forEachPoint(len(cells), func(i int) error {
 		rate := rates[i/len(variants)]
 		v := variants[i%len(variants)]
@@ -60,7 +78,9 @@ func Faults(o *Options) (*stats.Table, error) {
 			if v.mode == core.StashE2E {
 				cfg.RetainPayload = true
 			}
-			cfg.Fault = &fault.Plan{Seed: cfg.Seed + 101, LinkDropRate: rate}
+			cfg.StashParity = v.parity
+			cfg.Fault = &fault.Plan{Seed: cfg.Seed + 101, LinkDropRate: rate,
+				StashFailures: fails}
 			n := o.mustNet(cfg)
 			rng := sim.NewRNG(cfg.Seed + 2000)
 			chRate := n.ChannelRate()
@@ -81,15 +101,17 @@ func Faults(o *Options) (*stats.Table, error) {
 				return fmt.Errorf("faults: %s at rate %.0e: %w", v.name, rate, err)
 			}
 			c := n.Collector()
+			nc := n.Counters()
 			recUS := c.RecoveryAcc.Mean() / 1300 // cycles -> us
-			resends := n.Counters().E2ERetransmits + c.EndpointRetransmits
-			cells[i] = [4]string{
+			resends := nc.E2ERetransmits + c.EndpointRetransmits
+			cells[i] = [5]string{
 				fmtF(recUS, 2),
 				fmt.Sprintf("%d", c.RecoveredPkts),
 				fmt.Sprintf("%d", resends),
-				fmt.Sprintf("%d", c.DuplicatesSuppressed)}
-			o.logf("faults rate=%.0e %s: recovered=%d recLat=%.2fus resends=%d",
-				rate, v.name, c.RecoveredPkts, recUS, resends)
+				fmt.Sprintf("%d", c.DuplicatesSuppressed),
+				fmt.Sprintf("%d", nc.StashReconstructed)}
+			o.logf("faults rate=%.0e %s: recovered=%d recLat=%.2fus resends=%d recon=%d",
+				rate, v.name, c.RecoveredPkts, recUS, resends, nc.StashReconstructed)
 		}
 		return nil
 	})

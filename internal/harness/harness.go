@@ -42,6 +42,11 @@ type Options struct {
 	// enabled so dropped packets still deliver. The Faults experiment
 	// ignores it and builds its own sweep.
 	FaultPlan *fault.Plan
+	// StashParity, when >= 2, erasure-codes stash copies into XOR parity
+	// groups of that width on every StashE2E experiment network (the
+	// -stash-parity flag of cmd/figures). Non-e2e networks ignore it, and
+	// the Faults experiment overrides it per variant.
+	StashParity int
 	// Workers bounds the sweep-level worker pool that independent design
 	// points (one network, config, RNG and collector each) fan out over;
 	// 0 means GOMAXPROCS. Results are identical for any value: every
@@ -127,6 +132,9 @@ func (o *Options) netConfig(mode core.StashMode, capFrac float64, ecn bool) *cor
 	cfg := o.base()
 	cfg.Mode = mode
 	cfg.StashCapFrac = capFrac
+	if mode == core.StashE2E {
+		cfg.StashParity = o.StashParity
+	}
 	if ecn {
 		cfg.ECN = core.DefaultECN()
 	}

@@ -246,10 +246,33 @@ func (n *Network) AttachWatchdog(window int64, out io.Writer) *metrics.Watchdog 
 		},
 	}
 	if n.Injector != nil {
-		w.Note = n.Injector.OutageNote
+		// Fault recovery masquerading as a stall: report active outage
+		// windows, in-flight parity reconstructions, and recent stash-bank
+		// failures (whose drains flow through retry/reconstruction timers)
+		// instead of dumping switch state.
+		w.Note = func(from, to int64) string {
+			if note := n.Injector.OutageNote(from, to); note != "" {
+				return note
+			}
+			if pending := n.PendingReconstructions(); pending > 0 {
+				return fmt.Sprintf("%d stash reconstruction(s) in flight", pending)
+			}
+			return n.Injector.StashFailNote(from, to)
+		}
 	}
 	n.Watchdog = w
 	return w
+}
+
+// PendingReconstructions returns the network-wide count of in-flight
+// parity rebuilds (0 unless StashParity is enabled and a bank recently
+// failed).
+func (n *Network) PendingReconstructions() int {
+	total := 0
+	for _, s := range n.Switches {
+		total += s.PendingReconstructions()
+	}
+	return total
 }
 
 // EnableInvariants installs the runtime invariant checker, auditing the
@@ -326,8 +349,9 @@ func (n *Network) DumpNonIdle(w io.Writer) {
 func (n *Network) preCycle(now sim.Tick) {
 	if n.Injector.HasStashFails() {
 		for _, sf := range n.Injector.DueStashFails(int64(now)) {
-			lost := n.Switches[sf.Switch].FailStashBank(now, sf.Port)
+			lost, reconstructed := n.Switches[sf.Switch].FailStashBank(now, sf.Port)
 			n.Injector.AddStashCopiesLost(int64(lost))
+			n.Injector.AddStashReconstructed(int64(reconstructed))
 		}
 	}
 }
@@ -570,6 +594,10 @@ func (n *Network) Counters() core.Counters {
 		c.RetryAbandoned += sc.RetryAbandoned
 		c.StashCopiesLost += sc.StashCopiesLost
 		c.StashBypassed += sc.StashBypassed
+		c.StashReconstructed += sc.StashReconstructed
+		c.StashReconFailed += sc.StashReconFailed
+		c.ParityGroupsSealed += sc.ParityGroupsSealed
+		c.StashDegradedReads += sc.StashDegradedReads
 	}
 	return c
 }

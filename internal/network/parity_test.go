@@ -1,0 +1,170 @@
+package network
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"stashsim/internal/buffer"
+	"stashsim/internal/core"
+	"stashsim/internal/fault"
+)
+
+// withParity enables the erasure-coded stash tier at the given width.
+func withParity(k int) func(*core.Config) {
+	return func(cfg *core.Config) { cfg.StashParity = k }
+}
+
+// TestReconstructionUnderBankFailure is the tentpole property test: with
+// drops keeping retained copies alive and parity groups sealed, failing
+// stash banks mid-run must rebuild the protected copies from their
+// parity-group survivors — and the run still delivers exactly once.
+func TestReconstructionUnderBankFailure(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:         9,
+		LinkDropRate: 4e-3,
+		StashFailures: []fault.StashFail{
+			{Switch: 0, Port: 0, At: 4000},
+			{Switch: 0, Port: 1, At: 4500},
+			{Switch: 1, Port: 0, At: 5000},
+			{Switch: 1, Port: 1, At: 5500},
+			{Switch: 2, Port: 0, At: 6000},
+			{Switch: 2, Port: 1, At: 6500},
+		},
+	}
+	n := buildFaulted(t, plan, 0.25, withParity(4))
+	n.Run(9000)
+	assertExactlyOnce(t, n, 600_000)
+
+	st := n.FaultStats()
+	c := n.Counters()
+	if st.StashCopiesLost == 0 {
+		t.Fatal("bank failures invalidated no live copies; raise the load or delay the failures")
+	}
+	if c.StashReconstructed == 0 {
+		t.Fatal("no copy was reconstructed from parity; the tier never fired")
+	}
+	if st.StashCopiesReconstructed != c.StashReconstructed {
+		t.Fatalf("injector stat %d != switch counter %d",
+			st.StashCopiesReconstructed, c.StashReconstructed)
+	}
+	if c.ParityGroupsSealed == 0 {
+		t.Fatal("no parity group ever sealed")
+	}
+	t.Logf("lost %d copies, reconstructed %d (failed %d); %d groups sealed",
+		st.StashCopiesLost, c.StashReconstructed, c.StashReconFailed, c.ParityGroupsSealed)
+}
+
+// TestParityInvariantsHoldEveryCycle audits every conservation law —
+// including the parity extension of law 5 — on every cycle while groups
+// seal, members delete, banks fail, and rebuilds land.
+func TestParityInvariantsHoldEveryCycle(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:         3,
+		LinkDropRate: 2e-3,
+		StashFailures: []fault.StashFail{
+			{Switch: 0, Port: 0, At: 2000},
+			{Switch: 1, Port: 1, At: 3000},
+		},
+	}
+	n := buildFaulted(t, plan, 0.2, withParity(4))
+	n.Invariants.Every = 1
+	n.Run(5000)
+	if n.Invariants.Checks != 5000 {
+		t.Fatalf("audited %d of 5000 cycles", n.Invariants.Checks)
+	}
+	sealed := int64(0)
+	for _, s := range n.Switches {
+		if tr := s.Parity(); tr != nil {
+			sealed += tr.SealedGroups
+		}
+	}
+	if sealed == 0 {
+		t.Fatal("per-cycle audit never saw a sealed group")
+	}
+}
+
+// TestDegradedReadsWithBankModel layers the banked-memory conflict model
+// on top of parity: a retrieval blocked on a busy bank may proceed as a
+// degraded read served from the group's survivors.
+func TestDegradedReadsWithBankModel(t *testing.T) {
+	plan := &fault.Plan{Seed: 17, LinkDropRate: 4e-3}
+	n := buildFaulted(t, plan, 0.3, func(cfg *core.Config) {
+		cfg.StashParity = 4
+		cfg.BankModel = true
+	})
+	n.Run(10000)
+	assertExactlyOnce(t, n, 600_000)
+	// Degraded reads depend on a retransmission colliding with a busy
+	// bank, which the seed above does produce; the hard property is that
+	// they never break exactly-once delivery or the conservation laws.
+	t.Logf("degraded reads: %d", n.Counters().StashDegradedReads)
+}
+
+// TestInvariantsCatchParityMismatch corrupts the parity ledger of a bank
+// behind the tracker's back; the law-5 parity audit must name it.
+func TestInvariantsCatchParityMismatch(t *testing.T) {
+	cfg := core.TinyConfig()
+	cfg.Mode = core.StashE2E
+	cfg.RetainPayload = true
+	cfg.StashParity = 4
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.EnableInvariants(1)
+	n.Run(500)
+	n.Invariants.Out = io.Discard
+	// A parity flit the groups do not account for. Compensate the global
+	// flit count so only the parity law trips.
+	var pool *buffer.StashPool
+	for p := 0; p < n.Cfg.Topo.Radix() && pool == nil; p++ {
+		if cand := n.Switches[0].PortStash(p); cand.Capacity() > 0 {
+			pool = cand
+		}
+	}
+	if pool == nil {
+		t.Fatal("no stash-capable port on sw0")
+	}
+	pool.AddParity(1)
+	orig := n.Invariants.ExtCreated
+	n.Invariants.ExtCreated = func() int64 { return orig() + 1 }
+	expectViolation(t, "parity accounting", func() { n.Invariants.Check(n.Now) })
+}
+
+// TestWatchdogNotesReconstruction: during a bank-failure drain the stall
+// watchdog must explain the delivery lull — an in-flight rebuild, or the
+// recent failure itself — instead of producing a false stall dump.
+func TestWatchdogNotesReconstruction(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:          7,
+		LinkDropRate:  2e-3,
+		StashFailures: []fault.StashFail{{Switch: 0, Port: 0, At: 3000}},
+	}
+	n := buildFaulted(t, plan, 0.25, withParity(4))
+	n.AttachWatchdog(1_000_000, io.Discard) // huge window: never fires, we only probe Note
+	if n.Watchdog.Note == nil {
+		t.Fatal("watchdog Note hook not wired")
+	}
+	n.Run(3000)
+	// Step cycle-by-cycle through the failure so an in-flight rebuild is
+	// observable before its sideband completes.
+	sawRecon := false
+	for i := 0; i < 200 && !sawRecon; i++ {
+		n.Step()
+		if n.PendingReconstructions() > 0 {
+			sawRecon = true
+			if note := n.Watchdog.Note(int64(n.Now)-100, int64(n.Now)); !strings.Contains(note, "reconstruction") {
+				t.Fatalf("note during in-flight rebuild: %q", note)
+			}
+		}
+	}
+	// Whether or not a rebuild was in flight at the instant we probed,
+	// the recent bank failure itself must be reported for windows near it.
+	if note := n.Watchdog.Note(2900, 3400); !strings.Contains(note, "sw0.0@3000") {
+		t.Fatalf("note near the failure: %q", note)
+	}
+	if sawRecon {
+		t.Log("observed an in-flight reconstruction note")
+	}
+}
