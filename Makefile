@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fault-smoke ec-smoke par-smoke obs-smoke bench bench-all bench-diff figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke bench bench-all bench-diff figures figures-paper examples clean
 
-all: build vet lint test race fault-smoke ec-smoke par-smoke obs-smoke
+all: build vet lint test race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,26 @@ ec-smoke:
 par-smoke:
 	$(GO) test -race -count=1 -run 'TestParallelStepRace|TestParallelMatchesSerial' ./internal/network
 	$(GO) test -count=1 -run 'TestWorkersDeterminism' ./cmd/stashsim
+
+# Conservative-PDES smoke: the small preset (19 groups, 650-cycle global
+# lookahead) under drops + bank failures with four epoch-synchronized
+# group partitions, invariants auditing, and a drain that must end in
+# exactly-once delivery — then the identical run serially, with the two
+# -json summaries diffed byte-for-byte. Guards the epoch scheduler's
+# lookahead clamping and SPSC link handoff at a scale where epochs
+# actually free-run (tiny's 65-cycle lookahead is covered by par-smoke).
+pdes-smoke:
+	$(GO) run ./cmd/stashsim -preset small -mode e2e -load 0.2 -warmup 0 \
+		-cycles 8000 -seed 13 -link-drop-rate 1e-3 \
+		-stash-fail "0.0@4000,1.1@5500,2.0@6001" \
+		-epoch auto -workers 4 -invariants \
+		-drain 400000 -assert-delivery -json > /tmp/pdes_epoch.json
+	$(GO) run ./cmd/stashsim -preset small -mode e2e -load 0.2 -warmup 0 \
+		-cycles 8000 -seed 13 -link-drop-rate 1e-3 \
+		-stash-fail "0.0@4000,1.1@5500,2.0@6001" \
+		-epoch off -workers 1 -invariants \
+		-drain 400000 -assert-delivery -json > /tmp/pdes_serial.json
+	diff /tmp/pdes_epoch.json /tmp/pdes_serial.json
 
 # Observability smoke: the live telemetry server scraped from concurrent
 # goroutines while a two-worker profiled simulation runs, under the race

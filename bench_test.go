@@ -355,34 +355,50 @@ func BenchmarkParallelExecutor(b *testing.B) {
 	for _, tp := range topos {
 		for _, load := range []float64{0.1, 0.3} {
 			for _, workers := range []int{1, 2, 4} {
-				b.Run(fmt.Sprintf("%s/load=%.0f%%/workers=%d", tp.name, load*100, workers), func(b *testing.B) {
-					cfg := core.PaperConfig()
-					cfg.Topo = topo.Dragonfly{P: tp.p, A: tp.a, H: tp.h}
-					radix := cfg.Topo.Radix()
-					cfg.Rows, cfg.Cols = 4, 4
-					cfg.TileIn, cfg.TileOut = (radix+3)/4, (radix+3)/4
-					cfg.Mode = core.StashE2E
-					n, err := network.New(cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
+				// Parallel rows run both synchronization schemes: the
+				// per-cycle barrier (sync=cycle) and the epoch scheduler
+				// (sync=epoch, lookahead = the 650-cycle global latency).
+				syncs := []string{"cycle"}
+				if workers > 1 {
+					syncs = []string{"cycle", "epoch"}
+				}
+				for _, sync := range syncs {
+					name := fmt.Sprintf("%s/load=%.0f%%/workers=%d", tp.name, load*100, workers)
 					if workers > 1 {
-						n.SetWorkers(workers)
-						defer n.Close()
+						name += "/sync=" + sync
 					}
-					rng := sim.NewRNG(3)
-					for _, ep := range n.Endpoints {
-						ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
-							load, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
-					}
-					n.Run(tp.settle) // settle into steady state before timing
-					b.ReportAllocs()
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						n.Run(100)
-					}
-					b.ReportMetric(float64(len(n.Switches))*100, "switch-cycles/op")
-				})
+					b.Run(name, func(b *testing.B) {
+						cfg := core.PaperConfig()
+						cfg.Topo = topo.Dragonfly{P: tp.p, A: tp.a, H: tp.h}
+						radix := cfg.Topo.Radix()
+						cfg.Rows, cfg.Cols = 4, 4
+						cfg.TileIn, cfg.TileOut = (radix+3)/4, (radix+3)/4
+						cfg.Mode = core.StashE2E
+						n, err := network.New(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if workers > 1 {
+							n.SetWorkers(workers)
+							if sync == "cycle" {
+								n.SetEpochPolicy(-1)
+							}
+							defer n.Close()
+						}
+						rng := sim.NewRNG(3)
+						for _, ep := range n.Endpoints {
+							ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+								load, n.ChannelRate(), proto.MaxPacketFlits, proto.ClassDefault, 0)
+						}
+						n.Run(tp.settle) // settle into steady state before timing
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							n.Run(100)
+						}
+						b.ReportMetric(float64(len(n.Switches))*100, "switch-cycles/op")
+					})
+				}
 			}
 		}
 	}
@@ -496,5 +512,15 @@ func TestParallelSteadyStateAllocFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() { n.Run(1) })
 	if allocs > 0 {
 		t.Fatalf("in-flight parallel Run(1) with 4 workers allocates %.2f/op, want 0", allocs)
+	}
+	// Run(1) forces 1-cycle epochs; a multi-epoch run additionally covers
+	// the free-running epoch loop and the cross-partition slab drains
+	// (tiny lookahead is 65, so 130 cycles is two full epochs per run).
+	if la := n.EpochLookahead(); la != 65 {
+		t.Fatalf("alloc guard expected the epoch executor (lookahead 65), got %d", la)
+	}
+	allocs = testing.AllocsPerRun(20, func() { n.Run(130) })
+	if allocs > 0 {
+		t.Fatalf("steady-state epoch Run(130) with 4 workers allocates %.2f/op, want 0", allocs)
 	}
 }

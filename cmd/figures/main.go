@@ -23,6 +23,7 @@ import (
 
 	"stashsim/internal/fault"
 	"stashsim/internal/harness"
+	"stashsim/internal/network"
 	"stashsim/internal/sim"
 	"stashsim/internal/stats"
 	"stashsim/internal/viz"
@@ -62,6 +63,7 @@ func main() {
 	stashFails := flag.String("stash-fail", "", "stash-bank failures (switch.port@cycle, comma separated) injected into every experiment network")
 	stashParity := flag.Int("stash-parity", 0, "erasure-code stash copies into XOR parity groups of this width on every e2e experiment network (0 = off)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep-level worker pool fanning out independent design points (tables are identical for any value)")
+	epoch := flag.String("epoch", "auto", "cycle-level sync policy for experiment networks: auto, off, or an epoch-length cap in cycles (tables are identical for any value)")
 	profileExec := flag.Bool("profile-exec", false, "profile per-phase executor time across every experiment network; report to stderr and, with -out, exec_profile.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -71,6 +73,9 @@ func main() {
 	case "", "tiny", "small", "paper":
 	default:
 		log.Fatalf("unknown preset %q (want tiny, small, or paper)", *preset)
+	}
+	if _, err := network.ParseEpochPolicy(*epoch); err != nil {
+		log.Fatalf("%v", err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -106,6 +111,7 @@ func main() {
 		InvariantsEvery: *invariantsEvery,
 		StashParity:     *stashParity,
 		Workers:         *workers,
+		Epoch:           *epoch,
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},

@@ -119,6 +119,7 @@ func main() {
 	flag.IntVar(&sp.StashParity, "stash-parity", 0, "erasure-code stash copies into XOR parity groups of this width (0 = off; e2e mode only)")
 	flag.Int64Var(&sp.Drain, "drain", 0, "after the measured window, run up to this many unloaded cycles until every packet settles")
 	flag.IntVar(&sp.Workers, "workers", runtime.GOMAXPROCS(0), "cycle-level worker goroutines stepping the network (1 = serial; results are identical either way)")
+	flag.StringVar(&sp.Epoch, "epoch", "auto", "parallel sync scheme: auto (group partitions free-run for lookahead-length epochs when workers allow), off (barrier every cycle), or a positive epoch-length cap in cycles; results are identical either way")
 	assertDelivery := flag.Bool("assert-delivery", false, "with -drain, exit nonzero unless every injected packet delivered exactly once")
 
 	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")

@@ -67,11 +67,14 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 }
 
-// TestWorkersDeterminism asserts the -workers flag never changes results:
-// the -json summary from a serial run must be byte-identical to a four-worker
-// run of the same spec, across the stashing, fault-injection, and ECN
-// (congestion) configurations. This is the user-visible contract behind the
-// parallel executor's sharded-collector / fixed-merge-order design.
+// TestWorkersDeterminism asserts that neither -workers nor -epoch ever
+// changes results: the -json summary from a serial run must be
+// byte-identical to every parallel run of the same spec across
+// workers ∈ {2, 4} × epoch ∈ {off, auto}, for the stashing,
+// fault-injection, parity-reconstruction, and ECN (congestion)
+// configurations. This is the user-visible contract behind the parallel
+// executor's sharded-collector / fixed-merge-order design and the epoch
+// scheduler's serial-event clamping.
 func TestWorkersDeterminism(t *testing.T) {
 	specs := map[string]simSpec{
 		"stashing-e2e": {
@@ -105,12 +108,18 @@ func TestWorkersDeterminism(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			serial := sp
 			serial.Workers = 1
-			parallel := sp
-			parallel.Workers = 4
-			a := runJSON(t, serial)
-			b := runJSON(t, parallel)
-			if !bytes.Equal(a, b) {
-				t.Fatalf("workers=1 and workers=4 summaries differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+			want := runJSON(t, serial)
+			for _, workers := range []int{2, 4} {
+				for _, epoch := range []string{"off", "auto"} {
+					parallel := sp
+					parallel.Workers = workers
+					parallel.Epoch = epoch
+					got := runJSON(t, parallel)
+					if !bytes.Equal(want, got) {
+						t.Fatalf("workers=%d epoch=%s summary differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+							workers, epoch, want, got)
+					}
+				}
 			}
 		})
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"stashsim/internal/buffer"
 	"stashsim/internal/fault"
 	"stashsim/internal/proto"
@@ -82,6 +84,17 @@ type Link struct {
 	flitPort uint8
 	credWake *[2][64]bool
 	credPort uint8
+
+	// epochClock, when non-nil, switches the link into epoch-batched
+	// delivery for conservative-PDES partitioning (see EnableEpochDelivery):
+	// the producer stages pushes in slab epoch&1 and the consumer's
+	// partition drains slab (epoch-1)&1 once at the start of each epoch, so
+	// the two sides never touch the same slab between epoch barriers and no
+	// per-cycle fold or wake-board write crosses the partition boundary
+	// mid-epoch. The pointer itself is written only while the simulation is
+	// quiescent (executor wiring/teardown); the pointee is the executor's
+	// atomic epoch counter.
+	epochClock *atomic.Int64
 }
 
 // NewLink builds a link with the given one-way latency in cycles.
@@ -108,6 +121,15 @@ func (l *Link) SendFlit(now int64, f proto.Flit) {
 		}
 		return
 	}
+	if c := l.epochClock; c != nil {
+		// Epoch mode: stage into the current epoch's slab and skip the
+		// wake board — the consumer lives in another partition and its
+		// board must not be written mid-epoch. The drain at the next
+		// epoch boundary arms the port instead.
+		s := c.Load() & 1
+		l.flitIn[s] = append(l.flitIn[s], buffer.TimedFlit{At: now + l.Latency, Flit: f})
+		return
+	}
 	s := now & 1
 	l.flitIn[s] = append(l.flitIn[s], buffer.TimedFlit{At: now + l.Latency, Flit: f})
 	if l.flitWake != nil {
@@ -131,20 +153,29 @@ func (l *Link) drainFlits(now int64) {
 		}
 		l.flitIn[prev] = l.flitIn[prev][:0]
 	} else {
-		a, b := l.flitIn[0], l.flitIn[1]
-		i, j := 0, 0
-		for i < len(a) || j < len(b) {
-			if j == len(b) || (i < len(a) && a[i].At <= b[j].At) {
-				l.flits.Push(a[i])
-				i++
-			} else {
-				l.flits.Push(b[j])
-				j++
-			}
-		}
-		l.flitIn[0], l.flitIn[1] = a[:0], b[:0]
+		l.mergeFlitSlabs()
 	}
 	l.flitDrained = now
+}
+
+// mergeFlitSlabs folds both inbox slabs into the ring, merged by arrival
+// time. Callers must hold both slabs quiescent (sparse serial use, or the
+// epoch-mode enable/disable flush between runs).
+//
+//stashsim:noalloc
+func (l *Link) mergeFlitSlabs() {
+	a, b := l.flitIn[0], l.flitIn[1]
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j == len(b) || (i < len(a) && a[i].At <= b[j].At) {
+			l.flits.Push(a[i])
+			i++
+		} else {
+			l.flits.Push(b[j])
+			j++
+		}
+	}
+	l.flitIn[0], l.flitIn[1] = a[:0], b[:0]
 }
 
 // drainCredits is drainFlits for the reverse path.
@@ -161,20 +192,27 @@ func (l *Link) drainCredits(now int64) {
 		}
 		l.credIn[prev] = l.credIn[prev][:0]
 	} else {
-		a, b := l.credIn[0], l.credIn[1]
-		i, j := 0, 0
-		for i < len(a) || j < len(b) {
-			if j == len(b) || (i < len(a) && a[i].at <= b[j].at) {
-				l.credits.push(a[i])
-				i++
-			} else {
-				l.credits.push(b[j])
-				j++
-			}
-		}
-		l.credIn[0], l.credIn[1] = a[:0], b[:0]
+		l.mergeCredSlabs()
 	}
 	l.credDrained = now
+}
+
+// mergeCredSlabs is mergeFlitSlabs for the reverse path.
+//
+//stashsim:noalloc
+func (l *Link) mergeCredSlabs() {
+	a, b := l.credIn[0], l.credIn[1]
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j == len(b) || (i < len(a) && a[i].at <= b[j].at) {
+			l.credits.push(a[i])
+			i++
+		} else {
+			l.credits.push(b[j])
+			j++
+		}
+	}
+	l.credIn[0], l.credIn[1] = a[:0], b[:0]
 }
 
 // foldFlits is the inline fast path of the once-per-cycle inbox fold: when
@@ -184,6 +222,9 @@ func (l *Link) drainCredits(now int64) {
 // drainFlits, which handles them all.
 //stashsim:noalloc
 func (l *Link) foldFlits(now int64) {
+	if l.epochClock != nil {
+		return
+	}
 	if now != l.flitDrained+1 || len(l.flitIn[(now&1)^1]) != 0 {
 		l.drainFlits(now)
 		return
@@ -195,6 +236,9 @@ func (l *Link) foldFlits(now int64) {
 //
 //stashsim:noalloc
 func (l *Link) foldCredits(now int64) {
+	if l.epochClock != nil {
+		return
+	}
 	if now != l.credDrained+1 || len(l.credIn[(now&1)^1]) != 0 {
 		l.drainCredits(now)
 		return
@@ -209,6 +253,9 @@ func (l *Link) foldCredits(now int64) {
 // slot — the one producers may be appending to right now — is never read.
 //stashsim:noalloc
 func (l *Link) foldWakeFlits(now int64) {
+	if l.epochClock != nil {
+		return
+	}
 	prev := (now + 1) & 1
 	if len(l.flitIn[prev]) != 0 {
 		for i := range l.flitIn[prev] {
@@ -223,6 +270,9 @@ func (l *Link) foldWakeFlits(now int64) {
 //
 //stashsim:noalloc
 func (l *Link) foldWakeCredits(now int64) {
+	if l.epochClock != nil {
+		return
+	}
 	prev := (now + 1) & 1
 	if len(l.credIn[prev]) != 0 {
 		for i := range l.credIn[prev] {
@@ -231,6 +281,71 @@ func (l *Link) foldWakeCredits(now int64) {
 		l.credIn[prev] = l.credIn[prev][:0]
 	}
 	l.credDrained = now
+}
+
+// EnableEpochDelivery switches the link into epoch-batched delivery for
+// conservative-PDES partitioning: pushes go to inbox slab clock&1 without
+// raising wake boards, per-cycle folds become no-ops, and the consumer's
+// partition drains slab (epoch-1)&1 once at each epoch boundary
+// (DrainEpochFlits/DrainEpochCredits on the owning switch). Exactness
+// follows from the lookahead rule — every epoch is at most as long as this
+// link's Latency, so an entry staged during epoch e cannot become due
+// before epoch e+1 starts, and arrival times stay monotone across drains.
+// Call only while the simulation is quiescent (executor wiring); any
+// entries still staged from cycle-mode running are folded into the rings
+// first so nothing is stranded.
+//
+//stashsim:phase serial
+func (l *Link) EnableEpochDelivery(clock *atomic.Int64) {
+	l.mergeFlitSlabs()
+	l.mergeCredSlabs()
+	l.epochClock = clock
+}
+
+// DisableEpochDelivery returns the link to per-cycle parity delivery.
+// resumeAt is the next cycle the simulation will run; the drained markers
+// are set so the first fold of that cycle takes the race-free fast path
+// (only the slab producers are not writing). Staged epoch entries are
+// folded into the rings first. Quiescent-only, like EnableEpochDelivery.
+//
+//stashsim:phase serial
+func (l *Link) DisableEpochDelivery(resumeAt int64) {
+	l.mergeFlitSlabs()
+	l.mergeCredSlabs()
+	l.epochClock = nil
+	l.flitDrained = resumeAt - 1
+	l.credDrained = resumeAt - 1
+}
+
+// EpochDelivery reports whether the link is in epoch-batched mode.
+func (l *Link) EpochDelivery() bool { return l.epochClock != nil }
+
+// drainEpochFlits folds one parity slab into the consumer's ring at an
+// epoch boundary. The caller (the consumer partition's drain, running
+// after the epoch barrier) passes the slab the producer filled during the
+// *previous* epoch; the producer is now staging into the other slab, so
+// the access is single-threaded by the same parity argument as the
+// per-cycle folds. Entries come out in push order, which is arrival-time
+// order because Latency is constant.
+//
+//stashsim:noalloc
+func (l *Link) drainEpochFlits(slab int) {
+	in := l.flitIn[slab]
+	for i := range in {
+		l.flits.Push(in[i])
+	}
+	l.flitIn[slab] = in[:0]
+}
+
+// drainEpochCredits is drainEpochFlits for the reverse path.
+//
+//stashsim:noalloc
+func (l *Link) drainEpochCredits(slab int) {
+	in := l.credIn[slab]
+	for i := range in {
+		l.credits.push(in[i])
+	}
+	l.credIn[slab] = in[:0]
 }
 
 // FlitPending reports whether a flit is due for the consumer at now. It is
@@ -345,8 +460,19 @@ func (l *Link) auditCredits(fn func(proto.Credit)) {
 // coalesce into one batch entry.
 //stashsim:noalloc
 func (l *Link) SendCredit(now int64, c proto.Credit) {
-	s := now & 1
 	at := now + l.Latency
+	if ec := l.epochClock; ec != nil {
+		// Epoch mode: same staging rule as SendFlit — current epoch's
+		// slab, no cross-partition wake-board write.
+		s := ec.Load() & 1
+		if n := len(l.credIn[s]); n > 0 && l.credIn[s][n-1].at == at {
+			l.credIn[s][n-1].add(c)
+			return
+		}
+		l.credIn[s] = append(l.credIn[s], newCreditBatch(at, c))
+		return
+	}
+	s := now & 1
 	if l.credWake != nil {
 		l.credWake[s][l.credPort] = true
 	}

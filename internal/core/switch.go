@@ -363,6 +363,60 @@ func (s *Switch) AttachOutLink(p int, l *Link, downstreamCap int) {
 	}
 }
 
+// DrainEpochFlits folds one epoch's staged arrivals on input port p into
+// the port's ring and arms the port if anything is now pending. It runs on
+// the switch's owning partition worker at an epoch boundary, after the
+// epoch barrier ordered the remote producer's slab writes before this
+// read (the slab index is (epoch-1)&1 — the slab producers are no longer
+// filling).
+//
+//stashsim:phase parallel
+//stashsim:noalloc
+func (s *Switch) DrainEpochFlits(p int, slab int) {
+	l := s.in[p].link
+	l.drainEpochFlits(slab)
+	if l.flits.Len() > 0 {
+		s.armedIn |= 1 << uint(p)
+	}
+}
+
+// DrainEpochCredits is DrainEpochFlits for the reverse path of output
+// port p: it folds the consumer's returned credits staged last epoch and
+// arms the credit scan if any credit (returned or fault-synthesized) is
+// outstanding.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
+func (s *Switch) DrainEpochCredits(p int, slab int) {
+	l := s.out[p].link
+	l.drainEpochCredits(slab)
+	if l.credits.n > 0 || l.synth.n > 0 {
+		s.armedCred |= 1 << uint(p)
+	}
+}
+
+// ReannounceIn arms input port p if its link ring holds undelivered flits.
+// Used when a link changes delivery mode between runs: wake flags raised
+// under the old mode may already be consumed, so pending work is
+// re-announced directly.
+//
+//stashsim:phase serial
+func (s *Switch) ReannounceIn(p int) {
+	if s.in[p].link.flits.Len() > 0 {
+		s.armedIn |= 1 << uint(p)
+	}
+}
+
+// ReannounceCred is ReannounceIn for the credit path of output port p.
+//
+//stashsim:phase serial
+func (s *Switch) ReannounceCred(p int) {
+	l := s.out[p].link
+	if l.credits.n > 0 || l.synth.n > 0 {
+		s.armedCred |= 1 << uint(p)
+	}
+}
+
 // Config returns the shared configuration.
 func (s *Switch) Config() *Config { return s.cfg }
 

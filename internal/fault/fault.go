@@ -271,6 +271,22 @@ func (in *Injector) DueStashFails(now int64) []StashFail {
 // HasStashFails reports whether the plan schedules any stash-bank failure.
 func (in *Injector) HasStashFails() bool { return in != nil && len(in.fails) > 0 }
 
+// NextStashFailAt returns the cycle of the next undelivered stash-bank
+// failure, clamped to at least `from` (an overdue event must fire on the
+// next cycle that runs). ok is false when the schedule is exhausted or nil.
+// Epoch-synchronized executors use it to end epochs exactly on failure
+// cycles so DueStashFails keeps its per-cycle semantics.
+func (in *Injector) NextStashFailAt(from int64) (at int64, ok bool) {
+	if in == nil || in.failNext >= len(in.fails) {
+		return 0, false
+	}
+	at = in.fails[in.failNext].At
+	if at < from {
+		at = from
+	}
+	return at, true
+}
+
 // OutageNote returns a human-readable description of any outage window
 // overlapping [from, to], or "" when none does. The stall watchdog uses it
 // to report "outage active" instead of dumping switch state during a

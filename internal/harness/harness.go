@@ -54,6 +54,13 @@ type Options struct {
 	// assembled in index order (see forEachPoint).
 	Workers int
 
+	// Epoch is the cycle-level synchronization policy applied to every
+	// experiment network (the -epoch flag of cmd/figures; see
+	// network.ParseEpochPolicy). Experiment networks currently run their
+	// cycles serially, so this only takes effect if an experiment opts a
+	// network into cycle-level workers; results are identical either way.
+	Epoch string
+
 	// ExecProfiler, when non-nil, is attached to every experiment network
 	// (the -profile-exec flag of cmd/figures). Experiment networks run
 	// their cycles serially — the parallelism above is sweep-level — so a
@@ -179,6 +186,11 @@ func (o *Options) mustNet(cfg *core.Config) *network.Network {
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
+	pol, err := network.ParseEpochPolicy(o.Epoch)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	n.SetEpochPolicy(pol)
 	if o.Invariants {
 		every := o.InvariantsEvery
 		if every <= 0 {
@@ -187,7 +199,9 @@ func (o *Options) mustNet(cfg *core.Config) *network.Network {
 		n.EnableInvariants(every)
 	}
 	if o.ExecProfiler != nil {
-		n.SetExecProfiler(o.ExecProfiler)
+		if err := n.SetExecProfiler(o.ExecProfiler); err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
 	}
 	return n
 }

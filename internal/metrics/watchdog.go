@@ -58,6 +58,26 @@ func (w *Watchdog) Stalled() bool {
 	return w.stalled.Load()
 }
 
+// NextEventAt returns the next cycle >= from on which Observe does real
+// work: the first call of a run (initialization) or a window boundary.
+// Between boundaries Observe is a strict no-op, so an epoch-synchronized
+// executor that runs its serial hooks exactly on the returned cycles
+// reproduces the per-cycle watchdog behavior bit-for-bit.
+//
+//stashsim:phase serial -- reads the unsynchronized window bookkeeping
+func (w *Watchdog) NextEventAt(from int64) int64 {
+	if w == nil {
+		return from + (1 << 62)
+	}
+	if !w.started {
+		return from
+	}
+	if at := w.windowStart + w.Window; at > from {
+		return at
+	}
+	return from
+}
+
 // Observe advances the watchdog to cycle now.
 //
 //stashsim:phase serial -- window bookkeeping is unsynchronized; runs from the PostCycle hook only

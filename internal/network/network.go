@@ -70,6 +70,20 @@ type Network struct {
 	workers int
 	exec    *sim.Executor
 
+	// epochPolicy selects the parallel synchronization scheme
+	// (SetEpochPolicy): 0 auto, -1 per-cycle barrier, >0 epoch-length cap.
+	// epochLinks and epochLookahead describe the active epoch wiring —
+	// nil/0 unless the built executor runs epoch sync; teardownExec
+	// restores the links to per-cycle delivery.
+	epochPolicy    int64
+	epochLinks     []epochLink
+	epochLookahead int64
+
+	// profOwned marks Profiler as built by EnableExecProfile (ring size
+	// profRing), which SetWorkers then resizes to follow the worker count.
+	profOwned bool
+	profRing  int
+
 	// cycleDone counts completed cycles, stored from the serial postCycle
 	// hook. Unlike Now — which the executor path writes back only when Run
 	// returns — it is current mid-run, and atomic so the SIGQUIT handler
@@ -387,27 +401,48 @@ func (n *Network) Step() {
 
 // SetWorkers selects the cycle-level execution mode for Run: workers <= 1
 // (the default) steps every component serially on the calling goroutine;
-// workers > 1 partitions endpoints and switches round-robin across that
-// many long-lived goroutines synchronized by a per-cycle barrier (see
-// sim.Executor). Components communicate only over latency>=1 links, so
-// intra-cycle step order is irrelevant and results are bit-identical for
-// any worker count. Call before Run; call Close when done with a parallel
-// network to release the worker goroutines.
+// workers > 1 partitions endpoints and switches across that many
+// long-lived goroutines (by dragonfly group with epoch synchronization
+// when the count and topology allow it — see SetEpochPolicy — otherwise
+// round-robin with a per-cycle barrier; see sim.Executor). Components
+// communicate only over latency>=1 links, so intra-cycle step order is
+// irrelevant and results are bit-identical for any worker count and
+// either synchronization scheme. Call before Run; call Close when done
+// with a parallel network to release the worker goroutines.
+//
+// A profiler the network built itself (EnableExecProfile) is resized to
+// the new worker count, so EnableExecProfile and SetWorkers compose in
+// either order; an externally attached profiler (SetExecProfiler) is
+// left alone and must already match.
 func (n *Network) SetWorkers(workers int) {
 	if workers == n.workers {
 		return
 	}
-	if n.exec != nil {
-		n.exec.Close()
-		n.exec = nil
-	}
+	n.teardownExec()
 	n.workers = workers
+	if n.profOwned && n.Profiler != nil {
+		w := workers
+		if w < 1 {
+			w = 1
+		}
+		if n.Profiler.Workers() != w {
+			p := sim.NewExecProfiler(w, n.profRing)
+			p.SetPhaseLabels("endpoints", "switches")
+			n.Profiler = p
+		}
+	}
 }
 
 // executor lazily builds the parallel executor over every endpoint and
 // switch, with the per-cycle singletons installed as barrier hooks.
+// Group-aligned worker counts get the epoch-synchronized partition
+// build; everything else falls back to round-robin per-cycle sync.
 func (n *Network) executor() *sim.Executor {
 	if n.exec == nil {
+		if e := n.buildEpochExecutor(); e != nil {
+			n.exec = e
+			return n.exec
+		}
 		comps := make([]sim.Stepper, 0, len(n.Endpoints)+len(n.Switches))
 		for _, ep := range n.Endpoints {
 			comps = append(comps, ep)
@@ -424,12 +459,16 @@ func (n *Network) executor() *sim.Executor {
 	return n.exec
 }
 
-// Close releases the parallel executor's worker goroutines, if any. The
-// network remains usable afterwards (runs fall back to the serial path).
+// Close releases the parallel executor's worker goroutines, if any, and
+// drops the network back to serial execution: the worker count resets to
+// one, so later runs step on the calling goroutine until SetWorkers
+// re-enables a pool. (Closing used to keep the old worker count, so the
+// next Run silently rebuilt the executor and re-spawned the goroutines
+// this call had just released.)
 func (n *Network) Close() {
-	if n.exec != nil {
-		n.exec.Close()
-		n.exec = nil
+	n.teardownExec()
+	if n.workers > 1 {
+		n.SetWorkers(1) // also resizes a network-owned profiler
 	}
 }
 

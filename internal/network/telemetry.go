@@ -1,6 +1,8 @@
 package network
 
 import (
+	"fmt"
+
 	"stashsim/internal/metrics"
 	"stashsim/internal/sim"
 	"stashsim/internal/telemetry"
@@ -12,31 +14,48 @@ import (
 // -json output is byte-identical with or without them.
 
 // EnableExecProfile creates and attaches an executor stall profiler sized
-// for the network's current worker count (call after SetWorkers).
-// ringCycles > 0 additionally retains the most recent ringCycles cycles
-// of raw lane timings for the Chrome trace export. Must be called before
-// the first Run so the lazily built executor picks it up.
+// for the network's current worker count; a later SetWorkers resizes it,
+// so the call order does not matter. ringCycles > 0 additionally retains
+// the most recent ringCycles cycles of raw lane timings for the Chrome
+// trace export. Must be called before the first Run so the lazily built
+// executor picks it up.
 func (n *Network) EnableExecProfile(ringCycles int) *sim.ExecProfiler {
 	w := n.workers
 	if w < 1 {
 		w = 1
 	}
 	p := sim.NewExecProfiler(w, ringCycles)
-	n.SetExecProfiler(p)
+	n.Profiler = p
+	n.profOwned = true
+	n.profRing = ringCycles
+	p.SetPhaseLabels("endpoints", "switches")
+	n.teardownExec()
 	return p
 }
 
 // SetExecProfiler attaches an existing profiler (the figures harness
-// shares one across every sweep network so the totals aggregate). The
-// profiler's worker count must match this network's for the parallel
-// path; a mismatched profiler still profiles serial runs.
-func (n *Network) SetExecProfiler(p *sim.ExecProfiler) {
-	n.Profiler = p
-	p.SetPhaseLabels("endpoints", "switches")
-	if n.exec != nil {
-		n.exec.Close()
-		n.exec = nil
+// shares one across every sweep network so the totals aggregate), or
+// detaches profiling when p is nil. The profiler's worker lane count
+// must match a multi-worker network's worker count; a mismatch returns
+// an error instead of being silently dropped at Run time, as it once
+// was. Unlike EnableExecProfile, the attached profiler is caller-owned:
+// SetWorkers will not resize it.
+func (n *Network) SetExecProfiler(p *sim.ExecProfiler) error {
+	if p == nil {
+		n.Profiler = nil
+		n.profOwned = false
+		n.teardownExec()
+		return nil
 	}
+	if n.workers > 1 && p.Workers() != n.workers {
+		return fmt.Errorf("network: profiler sized for %d workers attached to a %d-worker network (size it with sim.NewExecProfiler(%d, ...) or use EnableExecProfile)",
+			p.Workers(), n.workers, n.workers)
+	}
+	n.Profiler = p
+	n.profOwned = false
+	p.SetPhaseLabels("endpoints", "switches")
+	n.teardownExec()
+	return nil
 }
 
 // CyclesDone reports completed simulation cycles. It is safe to call

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// epochDrainRec records DrainEpoch invocations for one partition.
+type epochDrainRec struct {
+	epochs []int64
+}
+
+func (d *epochDrainRec) DrainEpoch(epoch int64) { d.epochs = append(d.epochs, epoch) }
+
+// newEpochExecutor builds a 2-partition executor over countSteppers with
+// per-partition drain recorders.
+func newEpochExecutor(perPart int) (*Executor, [][]*countStepper, []*epochDrainRec) {
+	cs := make([][]*countStepper, 2)
+	parts := make([][]Stepper, 2)
+	for p := range parts {
+		for i := 0; i < perPart; i++ {
+			c := &countStepper{}
+			cs[p] = append(cs[p], c)
+			parts[p] = append(parts[p], c)
+		}
+	}
+	e := NewPartitionedExecutor(parts, []int{1, 1})
+	drains := []*epochDrainRec{{}, {}}
+	return e, cs, drains
+}
+
+// TestEpochExecutorStepsEveryCycle verifies the free-running epoch loop
+// preserves the fundamental contract: every component steps exactly once
+// per cycle, in cycle order, even though barriers only happen at epoch
+// boundaries.
+func TestEpochExecutorStepsEveryCycle(t *testing.T) {
+	e, cs, recs := newEpochExecutor(3)
+	far := func(from Tick) Tick { return from + 1<<30 }
+	e.EnableEpochSync(7, far, []EpochDrainer{recs[0], recs[1]})
+	e.Run(0, 40)
+	e.Run(40, 53)
+	e.Close()
+	for p := range cs {
+		for i, c := range cs[p] {
+			if len(c.steps) != 53 {
+				t.Fatalf("partition %d component %d stepped %d cycles, want 53", p, i, len(c.steps))
+			}
+			for j, s := range c.steps {
+				if s != Tick(j) {
+					t.Fatalf("partition %d component %d step %d saw tick %d", p, i, j, s)
+				}
+			}
+		}
+	}
+	// With no serial events, 53 cycles at lookahead 7 is ceil(40/7) +
+	// ceil(13/7) = 6+2 = 8 epochs; each partition drains once per epoch
+	// with a strictly incrementing epoch counter.
+	for p, r := range recs {
+		if len(r.epochs) != 8 {
+			t.Fatalf("partition %d drained %d epochs, want 8", p, len(r.epochs))
+		}
+		for i, ep := range r.epochs {
+			if ep != int64(i+1) {
+				t.Fatalf("partition %d drain %d saw epoch %d, want %d", p, i, ep, i+1)
+			}
+		}
+	}
+}
+
+// TestEpochExecutorSerialEventClamping pins the clamping contract: hooks
+// run exactly on the cycles nextEvent names (as 1-cycle epochs), never in
+// between, and free-running epochs never cross one.
+func TestEpochExecutorSerialEventClamping(t *testing.T) {
+	e, _, recs := newEpochExecutor(2)
+	// Serial events on every multiple of 10.
+	every10 := func(from Tick) Tick {
+		if from%10 == 0 {
+			return from
+		}
+		return from + 10 - from%10
+	}
+	var pre, post []Tick
+	var postEpoch []Tick
+	e.PreCycle = func(now Tick) { pre = append(pre, now) }
+	e.PostCycle = func(now Tick) { post = append(post, now) }
+	e.PostEpoch = func(next Tick) { postEpoch = append(postEpoch, next) }
+	e.EnableEpochSync(7, every10, []EpochDrainer{recs[0], recs[1]})
+	e.Run(0, 50)
+	e.Close()
+
+	want := []Tick{0, 10, 20, 30, 40}
+	if len(pre) != len(want) || len(post) != len(want) {
+		t.Fatalf("hooks ran %d/%d times, want %d (pre=%v post=%v)", len(pre), len(post), len(want), pre, post)
+	}
+	for i, w := range want {
+		if pre[i] != w || post[i] != w {
+			t.Fatalf("hook %d ran at pre=%d post=%d, want %d", i, pre[i], post[i], w)
+		}
+	}
+	// PostEpoch publishes a strictly increasing frontier ending at `to`.
+	last := Tick(0)
+	for i, v := range postEpoch {
+		if v <= last {
+			t.Fatalf("PostEpoch %d published %d after %d (not increasing)", i, v, last)
+		}
+		last = v
+	}
+	if last != 50 {
+		t.Fatalf("final published frontier %d, want 50", last)
+	}
+}
+
+// TestEpochExecutorHookOrdering extends the two-phase barrier contract to
+// epoch mode: PreCycle sees all prior cycles complete, PostCycle sees its
+// own cycle complete, with work free-running in between.
+func TestEpochExecutorHookOrdering(t *testing.T) {
+	const comps, cycles = 8, 60
+	var total atomic.Int64
+	parts := make([][]Stepper, 2)
+	for i := 0; i < comps; i++ {
+		parts[i%2] = append(parts[i%2], &tallyStepper{total: &total})
+	}
+	e := NewPartitionedExecutor(parts, []int{0, 0})
+	var bad atomic.Int64
+	e.PreCycle = func(now Tick) {
+		if total.Load() != int64(now)*comps {
+			bad.Add(1)
+		}
+	}
+	e.PostCycle = func(now Tick) {
+		if total.Load() != int64(now+1)*comps {
+			bad.Add(1)
+		}
+	}
+	every10 := func(from Tick) Tick {
+		if from%10 == 0 {
+			return from
+		}
+		return from + 10 - from%10
+	}
+	e.EnableEpochSync(7, every10, nil)
+	e.Run(0, cycles)
+	e.Close()
+	if bad.Load() != 0 {
+		t.Fatalf("%d hook-ordering violations", bad.Load())
+	}
+	if total.Load() != comps*cycles {
+		t.Fatalf("%d total steps, want %d", total.Load(), comps*cycles)
+	}
+}
+
+// TestEpochExecutorRunAfterClose: the serial fallback contract holds for
+// the partitioned executor too (epoch wiring is bypassed, hooks run every
+// cycle, all components still step).
+func TestEpochExecutorRunAfterClose(t *testing.T) {
+	e, cs, recs := newEpochExecutor(2)
+	far := func(from Tick) Tick { return from + 1<<30 }
+	e.EnableEpochSync(7, far, []EpochDrainer{recs[0], recs[1]})
+	e.Run(0, 20)
+	e.Close()
+	e.Run(20, 30) // serial fallback
+	for p := range cs {
+		for i, c := range cs[p] {
+			if len(c.steps) != 30 {
+				t.Fatalf("partition %d component %d stepped %d cycles, want 30", p, i, len(c.steps))
+			}
+		}
+	}
+}
+
+func mustPanicSim(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// TestPartitionedExecutorValidation pins the constructor and
+// EnableEpochSync argument contracts.
+func TestPartitionedExecutorValidation(t *testing.T) {
+	part := func() []Stepper { return []Stepper{&countStepper{}, &countStepper{}} }
+	mustPanicSim(t, "single partition", func() {
+		NewPartitionedExecutor([][]Stepper{part()}, []int{1})
+	})
+	mustPanicSim(t, "aCounts length mismatch", func() {
+		NewPartitionedExecutor([][]Stepper{part(), part()}, []int{1})
+	})
+	mustPanicSim(t, "aCount out of range", func() {
+		NewPartitionedExecutor([][]Stepper{part(), part()}, []int{1, 3})
+	})
+
+	far := func(from Tick) Tick { return from + 1<<30 }
+	e := NewPartitionedExecutor([][]Stepper{part(), part()}, []int{1, 1})
+	mustPanicSim(t, "lookahead < 2", func() { e.EnableEpochSync(1, far, nil) })
+	mustPanicSim(t, "nil nextEvent", func() { e.EnableEpochSync(7, nil, nil) })
+	mustPanicSim(t, "drains length mismatch", func() {
+		e.EnableEpochSync(7, far, []EpochDrainer{&epochDrainRec{}})
+	})
+	mustPanicSim(t, "round-robin executor", func() {
+		rr := NewExecutor(part(), 2)
+		rr.EnableEpochSync(7, far, nil)
+	})
+	e2 := NewPartitionedExecutor([][]Stepper{part(), part()}, []int{1, 1})
+	e2.EnableEpochSync(7, far, nil)
+	e2.Run(0, 10)
+	defer e2.Close()
+	mustPanicSim(t, "EnableEpochSync after Run", func() { e2.EnableEpochSync(7, far, nil) })
+}

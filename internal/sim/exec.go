@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -17,6 +18,21 @@ type Stepper interface {
 	//stashsim:phase parallel
 	//stashsim:noalloc
 	Step(now Tick)
+}
+
+// EpochDrainer delivers one partition's buffered cross-partition traffic
+// at an epoch boundary (the network implements it over the epoch-mode
+// links whose consumer side the partition owns). DrainEpoch runs on the
+// partition's worker goroutine immediately after the epoch-entry barrier,
+// before any component steps, with the epoch counter already advanced —
+// so it drains the slab the producers filled during the previous epoch.
+type EpochDrainer interface {
+	// DrainEpoch folds the previous epoch's staged entries into the
+	// partition's owner-private rings.
+	//
+	//stashsim:phase parallel
+	//stashsim:noalloc
+	DrainEpoch(epoch int64)
 }
 
 // Executor drives a set of components through simulated cycles, either
@@ -61,15 +77,38 @@ type Executor struct {
 	SplitAt int
 
 	// Profiler, when non-nil, receives per-worker per-phase cycle timings.
-	// Set before the first Run. A profiler built for a different worker
-	// count than this executor's is ignored on the parallel path.
+	// Set before the first Run. A profiler sized for a different worker
+	// count than this executor's makes the parallel Run panic: silently
+	// dropping it produced unprofiled runs with no diagnostic (attach the
+	// profiler after SetWorkers, or resize it).
 	Profiler *ExecProfiler
+
+	// PostEpoch, when non-nil, runs serially after each barrier round with
+	// the first cycle the components have NOT yet stepped (from+1 per
+	// cycle on the per-cycle path, the next epoch's start on the epoch
+	// path). The network uses it to publish simulated progress. Set before
+	// the first Run.
+	PostEpoch func(next Tick)
 
 	// serial fast path
 	all []Stepper
 
-	cur  atomic.Int64 // cycle the workers are released into
-	quit atomic.Bool  // set by Close; workers observe it at the entry barrier
+	// aCounts, when non-nil (partitioned executors), holds each
+	// partition's phase-A component count; otherwise aCount derives it
+	// from the round-robin layout.
+	aCounts []int
+
+	// Epoch synchronization (EnableEpochSync): partitions free-run for up
+	// to lookahead cycles per barrier round, clamped so any cycle with a
+	// serial event (nextEvent) still runs the hooks exactly on it.
+	lookahead Tick
+	nextEvent func(from Tick) Tick
+	drains    []EpochDrainer
+
+	cur    atomic.Int64 // first cycle the workers are released into
+	curLen atomic.Int64 // cycles in the released span (1 outside epoch mode)
+	epoch  atomic.Int64 // barrier-round counter; parity picks link slabs
+	quit   atomic.Bool  // set by Close; workers observe it at the entry barrier
 
 	mu      sync.Mutex
 	started bool
@@ -98,10 +137,90 @@ func NewExecutor(components []Stepper, workers int) *Executor {
 	return e
 }
 
+// NewPartitionedExecutor builds an executor over caller-chosen partitions
+// (the network passes one dragonfly group block per partition). Each
+// partition's components must lead with its aCounts[w] phase-A components
+// (endpoints); the serial fallback list is assembled all-A-first so
+// SplitAt profiling still splits cleanly. Partition layout is part of the
+// determinism contract only insofar as each component appears exactly
+// once; results are identical for any layout.
+func NewPartitionedExecutor(parts [][]Stepper, aCounts []int) *Executor {
+	if len(parts) < 2 {
+		panic("sim: partitioned executor needs at least two partitions")
+	}
+	if len(aCounts) != len(parts) {
+		panic("sim: aCounts length must match partition count")
+	}
+	e := &Executor{workers: len(parts), parts: parts, aCounts: aCounts}
+	total, splitAt := 0, 0
+	for w, p := range parts {
+		if aCounts[w] < 0 || aCounts[w] > len(p) {
+			panic("sim: partition phase-A count out of range")
+		}
+		total += len(p)
+		splitAt += aCounts[w]
+	}
+	e.all = make([]Stepper, 0, total)
+	for w, p := range parts {
+		e.all = append(e.all, p[:aCounts[w]]...)
+	}
+	for w, p := range parts {
+		e.all = append(e.all, p[aCounts[w]:]...)
+	}
+	e.SplitAt = splitAt
+	e.barrier = NewBarrier(len(parts) + 1)
+	return e
+}
+
+// EnableEpochSync switches the parallel path to epoch-synchronized
+// conservative execution: each barrier round releases the partitions into
+// a span of up to `lookahead` cycles instead of one. nextEvent returns
+// the next cycle >= from on which a serial event (fault injection,
+// sampler, watchdog, invariants, telemetry, flight recorder) must run;
+// epochs are clamped to end at such cycles, and a cycle that *is* one
+// runs as a 1-cycle epoch with the PreCycle/PostCycle hooks — so hook
+// semantics stay cycle-exact. drains[w], when non-nil, delivers partition
+// w's buffered cross-partition traffic at each epoch entry. Call before
+// the first Run on a partitioned executor; lookahead must be at least the
+// smallest cross-partition link latency for results to stay exact (the
+// network derives it from the topology).
+//
+//stashsim:phase serial
+func (e *Executor) EnableEpochSync(lookahead Tick, nextEvent func(from Tick) Tick, drains []EpochDrainer) {
+	if e.aCounts == nil {
+		panic("sim: epoch sync requires a NewPartitionedExecutor (round-robin partitions are not causally isolated)")
+	}
+	if lookahead < 2 {
+		panic("sim: epoch lookahead must be at least two cycles")
+	}
+	if nextEvent == nil {
+		panic("sim: epoch sync requires a next-event function")
+	}
+	if drains != nil && len(drains) != e.workers {
+		panic("sim: epoch drain list must match partition count")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("sim: EnableEpochSync after the first Run")
+	}
+	e.lookahead = lookahead
+	e.nextEvent = nextEvent
+	e.drains = drains
+}
+
+// EpochClock exposes the executor's barrier-round counter; epoch-mode
+// links index their staging slabs by its parity.
+func (e *Executor) EpochClock() *atomic.Int64 { return &e.epoch }
+
 // aCount returns how many of partition w's components fall below SplitAt.
-// Round-robin partitioning preserves relative order, so a partition's
-// phase-A components are exactly its leading ones.
+// Caller-partitioned executors carry explicit counts; round-robin
+// partitioning preserves relative order, so a partition's phase-A
+// components are exactly its leading ones.
 func (e *Executor) aCount(w int) int {
+	if e.aCounts != nil {
+		return e.aCounts[w]
+	}
 	if e.SplitAt <= w {
 		return 0
 	}
@@ -121,19 +240,29 @@ func (e *Executor) Run(from, to Tick) {
 		e.runSerial(from, to)
 		return
 	}
-	if !e.started {
-		e.started = true
-		prof := e.Profiler
-		if prof != nil && prof.Workers() != e.workers {
-			prof = nil
-		}
-		for w := 0; w < e.workers; w++ {
-			go e.worker(w, e.parts[w], e.aCount(w), prof)
-		}
-	}
 	prof := e.Profiler
 	if prof != nil && prof.Workers() != e.workers {
-		prof = nil
+		panic(fmt.Sprintf("sim: profiler sized for %d workers attached to a %d-worker executor; attach it after the worker count is final",
+			prof.Workers(), e.workers))
+	}
+	if !e.started {
+		e.started = true
+		epoch := e.lookahead > 1
+		for w := 0; w < e.workers; w++ {
+			if epoch {
+				var drain EpochDrainer
+				if e.drains != nil {
+					drain = e.drains[w]
+				}
+				go e.epochWorker(w, e.parts[w], e.aCount(w), drain, prof)
+			} else {
+				go e.worker(w, e.parts[w], e.aCount(w), prof)
+			}
+		}
+	}
+	if e.lookahead > 1 {
+		e.runEpochs(from, to, prof)
+		return
 	}
 	for now := from; now < to; now++ {
 		if prof == nil {
@@ -141,10 +270,14 @@ func (e *Executor) Run(from, to Tick) {
 				e.PreCycle(now)
 			}
 			e.cur.Store(int64(now))
+			e.curLen.Store(1)
 			e.barrier.Wait() // release workers into cycle `now`
 			e.barrier.Wait() // every component has stepped `now`
 			if e.PostCycle != nil {
 				e.PostCycle(now)
+			}
+			if e.PostEpoch != nil {
+				e.PostEpoch(now + 1)
 			}
 			continue
 		}
@@ -154,14 +287,82 @@ func (e *Executor) Run(from, to Tick) {
 		}
 		t1 := nowNS()
 		e.cur.Store(int64(now))
+		e.curLen.Store(1)
 		e.barrier.Wait()
 		e.barrier.Wait()
 		t2 := nowNS()
 		if e.PostCycle != nil {
 			e.PostCycle(now)
 		}
+		if e.PostEpoch != nil {
+			e.PostEpoch(now + 1)
+		}
 		t3 := nowNS()
 		prof.recCoord(int64(now), t0, t1-t0, t2-t1, t3-t2)
+	}
+}
+
+// runEpochs is the epoch-synchronized coordinator loop. Every barrier
+// round covers [now, now+L): L is the lookahead clamped to the Run bound
+// and to the next serial event. A cycle carrying a serial event runs as a
+// 1-cycle epoch bracketed by the hooks, exactly as the per-cycle path
+// would run it; event-free stretches run hook-free at full lookahead.
+// The epoch counter advances before the entry barrier so workers and the
+// links' staging slabs agree on the round's parity.
+//
+//stashsim:phase serial
+func (e *Executor) runEpochs(from, to Tick, prof *ExecProfiler) {
+	for now := from; now < to; {
+		next := e.nextEvent(now)
+		hooks := next <= now
+		L := Tick(1)
+		if !hooks {
+			L = e.lookahead
+			if now+L > next {
+				L = next - now
+			}
+			if now+L > to {
+				L = to - now
+			}
+		}
+		if prof == nil {
+			if hooks && e.PreCycle != nil {
+				e.PreCycle(now)
+			}
+			e.cur.Store(int64(now))
+			e.curLen.Store(int64(L))
+			e.epoch.Add(1)
+			e.barrier.Wait() // release partitions into [now, now+L)
+			e.barrier.Wait() // every partition has stepped the span
+			if hooks && e.PostCycle != nil {
+				e.PostCycle(now)
+			}
+			if e.PostEpoch != nil {
+				e.PostEpoch(now + L)
+			}
+			now += L
+			continue
+		}
+		t0 := nowNS()
+		if hooks && e.PreCycle != nil {
+			e.PreCycle(now)
+		}
+		t1 := nowNS()
+		e.cur.Store(int64(now))
+		e.curLen.Store(int64(L))
+		e.epoch.Add(1)
+		e.barrier.Wait()
+		e.barrier.Wait()
+		t2 := nowNS()
+		if hooks && e.PostCycle != nil {
+			e.PostCycle(now)
+		}
+		if e.PostEpoch != nil {
+			e.PostEpoch(now + L)
+		}
+		t3 := nowNS()
+		prof.recCoordEpoch(int64(now), t0, t1-t0, t2-t1, t3-t2, int64(L))
+		now += L
 	}
 }
 
@@ -253,6 +454,68 @@ func (e *Executor) worker(lane int, mine []Stepper, aCount int, prof *ExecProfil
 		e.barrier.Wait()
 		t4 := nowNS()
 		prof.recWorker(int64(now), lane, t0, t1-t0, t2-t1, t3-t2, t4-t3)
+	}
+}
+
+// epochWorker is the epoch-mode partition loop: park at the entry
+// barrier, drain the previous epoch's cross-partition traffic, then
+// free-run the partition through the released span with no further
+// synchronization. Determinism holds because the lookahead rule
+// guarantees nothing staged by a concurrent partition this epoch is due
+// before the next one, so every flit and credit is folded before its due
+// cycle, in per-link FIFO order, for any worker interleaving.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
+func (e *Executor) epochWorker(lane int, mine []Stepper, aCount int, drain EpochDrainer, prof *ExecProfiler) {
+	for {
+		if prof == nil {
+			e.barrier.Wait() // wait for the coordinator's hooks
+			if e.quit.Load() {
+				return
+			}
+			now := Tick(e.cur.Load())
+			end := now + Tick(e.curLen.Load())
+			if drain != nil {
+				drain.DrainEpoch(e.epoch.Load())
+			}
+			for ; now < end; now++ {
+				for _, c := range mine {
+					c.Step(now)
+				}
+			}
+			e.barrier.Wait() // publish this epoch's writes
+			continue
+		}
+		t0 := nowNS()
+		e.barrier.Wait()
+		if e.quit.Load() {
+			return
+		}
+		start := Tick(e.cur.Load())
+		end := start + Tick(e.curLen.Load())
+		t1 := nowNS()
+		if drain != nil {
+			drain.DrainEpoch(e.epoch.Load())
+		}
+		t2 := nowNS()
+		var dA, dB int64
+		for now := start; now < end; now++ {
+			u0 := nowNS()
+			for _, c := range mine[:aCount] {
+				c.Step(now)
+			}
+			u1 := nowNS()
+			for _, c := range mine[aCount:] {
+				c.Step(now)
+			}
+			dA += u1 - u0
+			dB += nowNS() - u1
+		}
+		t3 := nowNS()
+		e.barrier.Wait()
+		t4 := nowNS()
+		prof.recWorkerEpoch(int64(start), lane, t0, t1-t0, t2-t1, dA, dB, t4-t3)
 	}
 }
 

@@ -63,13 +63,16 @@ const (
 	// workers and the last worker arriving: the parallel section of the
 	// cycle as the coordinator sees it.
 	PhaseCycleSpan
+	// PhaseEpochDrain is a worker's time folding cross-partition link
+	// inboxes at an epoch boundary (epoch-synchronized executors only).
+	PhaseEpochDrain
 	// NumPhases is the number of timed phases.
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
 	"work-a", "work-b", "barrier-release", "barrier-publish",
-	"pre-hook", "post-hook", "cycle-span",
+	"pre-hook", "post-hook", "cycle-span", "epoch-drain",
 }
 
 // String returns the phase name used in reports and trace lanes.
@@ -200,6 +203,7 @@ type ExecProfiler struct {
 	lanes   [][NumPhases]PhaseHist
 	wallNS  atomic.Int64
 	cycles  atomic.Int64
+	epochs  atomic.Int64 // barrier synchronizations (== cycles when per-cycle)
 	ring    *profRing
 
 	labelA, labelB string
@@ -267,6 +271,8 @@ func (p *ExecProfiler) recWorker(cycle int64, lane int, start, dRel, dA, dB, dPu
 }
 
 // recCoord records one coordinator cycle: hooks, parallel span, wall.
+// A per-cycle barrier round is one synchronization, so epochs advances
+// alongside cycles.
 //
 //stashsim:phase serial
 func (p *ExecProfiler) recCoord(cycle int64, start, dPre, dSpan, dPost int64) {
@@ -276,6 +282,39 @@ func (p *ExecProfiler) recCoord(cycle int64, start, dPre, dSpan, dPost int64) {
 	l[PhasePostHook].rec(dPost)
 	p.wallNS.Add(dPre + dSpan + dPost)
 	p.cycles.Add(1)
+	p.epochs.Add(1)
+	p.ring.put(cycle, p.workers, start, dPre, dSpan, dPost, 0)
+}
+
+// recWorkerEpoch records one worker epoch: entry-barrier wait, the epoch
+// drain, the accumulated work of the epoch's cycles, and the exit-barrier
+// wait. The ring entry folds the drain into the release slot to keep the
+// record four durations wide.
+//
+//stashsim:phase parallel
+//stashsim:noalloc
+func (p *ExecProfiler) recWorkerEpoch(cycle int64, lane int, start, dRel, dDrain, dA, dB, dPub int64) {
+	l := &p.lanes[lane]
+	l[PhaseBarrierRelease].rec(dRel)
+	l[PhaseEpochDrain].rec(dDrain)
+	l[PhaseWorkA].rec(dA)
+	l[PhaseWorkB].rec(dB)
+	l[PhaseBarrierPublish].rec(dPub)
+	p.ring.put(cycle, lane, start, dRel+dDrain, dA, dB, dPub)
+}
+
+// recCoordEpoch records one coordinator epoch spanning `cycles` simulated
+// cycles with a single barrier round.
+//
+//stashsim:phase serial
+func (p *ExecProfiler) recCoordEpoch(cycle int64, start, dPre, dSpan, dPost, cycles int64) {
+	l := &p.lanes[p.workers]
+	l[PhasePreHook].rec(dPre)
+	l[PhaseCycleSpan].rec(dSpan)
+	l[PhasePostHook].rec(dPost)
+	p.wallNS.Add(dPre + dSpan + dPost)
+	p.cycles.Add(cycles)
+	p.epochs.Add(1)
 	p.ring.put(cycle, p.workers, start, dPre, dSpan, dPost, 0)
 }
 
@@ -358,8 +397,13 @@ type LaneReport struct {
 // percentages are fractions of coordinator wall and explain the
 // release-wait share. Imbalance is (max-mean)/mean of per-worker work.
 type Attribution struct {
-	WallNS         int64   `json:"wall_ns"`
-	Cycles         int64   `json:"cycles"`
+	WallNS int64 `json:"wall_ns"`
+	Cycles int64 `json:"cycles"`
+	// Epochs counts barrier synchronizations; CyclesPerSync = Cycles /
+	// Epochs is the epoch scheduler's headline number (1.0 means a global
+	// barrier every cycle; the lookahead target is >= 50 at paper scale).
+	Epochs         int64   `json:"epochs"`
+	CyclesPerSync  float64 `json:"cycles_per_sync"`
 	WorkPct        float64 `json:"work_pct"`
 	ReleaseWaitPct float64 `json:"release_wait_pct"`
 	PublishWaitPct float64 `json:"publish_wait_pct"`
@@ -404,7 +448,7 @@ func (p *ExecProfiler) Report() *ExecReport {
 		Cycles:  p.cycles.Load(),
 		WallNS:  p.wallNS.Load(),
 	}
-	workerPhases := []Phase{PhaseBarrierRelease, PhaseWorkA, PhaseWorkB, PhaseBarrierPublish}
+	workerPhases := []Phase{PhaseBarrierRelease, PhaseEpochDrain, PhaseWorkA, PhaseWorkB, PhaseBarrierPublish}
 	coordPhases := []Phase{PhasePreHook, PhaseCycleSpan, PhasePostHook}
 	var sumWork, maxWork, sumRelease, sumPublish, sumAttr int64
 	for w := 0; w < p.workers; w++ {
@@ -426,7 +470,9 @@ func (p *ExecProfiler) Report() *ExecReport {
 			lane.Phases = append(lane.Phases, pr)
 			sumAttr += total
 			switch ph {
-			case PhaseWorkA, PhaseWorkB:
+			case PhaseWorkA, PhaseWorkB, PhaseEpochDrain:
+				// The epoch drain delivers cross-partition flits — useful
+				// work, not synchronization wait.
 				work += total
 			case PhaseBarrierRelease:
 				sumRelease += total
@@ -468,6 +514,10 @@ func (p *ExecProfiler) Report() *ExecReport {
 
 	a := &r.Attribution
 	a.WallNS, a.Cycles = r.WallNS, r.Cycles
+	a.Epochs = p.epochs.Load()
+	if a.Epochs > 0 {
+		a.CyclesPerSync = float64(a.Cycles) / float64(a.Epochs)
+	}
 	if r.WallNS > 0 {
 		capacity := float64(p.workers) * float64(r.WallNS)
 		pct := func(ns int64) float64 { return 100 * float64(ns) / capacity }
@@ -501,6 +551,9 @@ func (r *ExecReport) Text() string {
 	a := r.Attribution
 	fmt.Fprintf(&b, "executor profile: %d workers, %d cycles, wall %.3f ms\n",
 		r.Workers, r.Cycles, float64(r.WallNS)/1e6)
+	if a.Epochs > 0 && a.Epochs != a.Cycles {
+		fmt.Fprintf(&b, "  epoch sync: %d epochs, %.1f cycles/sync\n", a.Epochs, a.CyclesPerSync)
+	}
 	fmt.Fprintf(&b, "  attribution (of %d worker-lanes x wall): work %.1f%%  barrier wait %.1f%% (release %.1f%%, publish/skew %.1f%%)  attributed %.1f%%\n",
 		r.Workers, a.WorkPct, a.BarrierWaitPct, a.ReleaseWaitPct, a.PublishWaitPct, a.AttributedPct)
 	fmt.Fprintf(&b, "  serial hooks (of wall): pre %.1f%%  post %.1f%%  | work imbalance (max-mean)/mean: %.1f%%\n",

@@ -122,23 +122,24 @@ func TestExecProfilerParallel(t *testing.T) {
 	}
 }
 
-func TestExecProfilerMismatchedWorkersIgnored(t *testing.T) {
+// TestExecProfilerMismatchedWorkersPanics is the regression test for the
+// silent-drop bug: a profiler sized for the wrong worker count used to be
+// quietly ignored on the parallel path, yielding an unprofiled run with
+// no diagnostic. The mismatch must now fail loudly before any cycle runs.
+func TestExecProfilerMismatchedWorkersPanics(t *testing.T) {
 	var steppers []Stepper
 	for i := 0; i < 6; i++ {
 		steppers = append(steppers, &countStepper{})
 	}
 	e := NewExecutor(steppers, 3)
-	e.Profiler = NewExecProfiler(2, 0) // wrong worker count: must be ignored
-	e.Run(0, 10)
-	e.Close()
-	if got := e.Profiler.Report().Cycles; got != 0 {
-		t.Fatalf("mismatched profiler recorded %d cycles, want 0", got)
-	}
-	for _, c := range steppers {
-		if got := len(c.(*countStepper).steps); got != 10 {
-			t.Fatalf("component stepped %d times, want 10", got)
+	defer e.Close()
+	e.Profiler = NewExecProfiler(2, 0) // wrong worker count
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched profiler was accepted silently")
 		}
-	}
+	}()
+	e.Run(0, 10)
 }
 
 func TestExecProfilerChromeEvents(t *testing.T) {

@@ -91,6 +91,9 @@ func NewPublisher(build func() *Snapshot, every int64) *Publisher {
 	return p
 }
 
+// Every returns the publication interval in cycles.
+func (p *Publisher) Every() int64 { return p.every }
+
 // MaybePublish refreshes the snapshot at the publication interval. Called
 // once per cycle from the serial PostCycle hook.
 //

@@ -116,6 +116,9 @@ func (d Dragonfly) EndpointID(sw, i int) int { return sw*d.P + i }
 // (g != t), the group-local global-link index k in [0, A*H) that carries
 // traffic from g to t under the canonical consecutive allocation.
 func (d Dragonfly) GlobalLinkIndex(g, t int) int {
+	if g == t {
+		panic("topo: global link to self group")
+	}
 	if t < g {
 		return t
 	}
@@ -123,8 +126,11 @@ func (d Dragonfly) GlobalLinkIndex(g, t int) int {
 }
 
 // GlobalLinkTarget returns the destination group of group-local global
-// link k of group g under the canonical allocation.
+// link k of group g under the canonical allocation (k in [0, A*H)).
 func (d Dragonfly) GlobalLinkTarget(g, k int) int {
+	if k < 0 || k >= d.Groups()-1 {
+		panic("topo: global link index out of range")
+	}
 	if k < g {
 		return k
 	}
@@ -184,6 +190,15 @@ func (l Latencies) Of(c LinkClass) int64 {
 		return l.Global
 	}
 }
+
+// CrossGroupLookahead returns the conservative-PDES lookahead, in cycles,
+// for partitions made of whole dragonfly groups: the smallest one-way
+// latency of any link that crosses a group boundary. Only global links
+// cross groups (endpoint and local links stay inside one), so this is the
+// global latency. A flit or credit staged on a cross-group link during an
+// epoch of at most this many cycles cannot become due before the next
+// epoch starts, which is what makes epoch-batched delivery exact.
+func (d Dragonfly) CrossGroupLookahead(l Latencies) int64 { return l.Global }
 
 // PaperLatencies converts the paper's one-way nanosecond latencies
 // (5/40/500 ns) into internal 1.3 GHz cycles, rounding up.

@@ -185,3 +185,67 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// TestGlobalLinkInverses walks every (g, t) group pair of several
+// topologies and asserts GlobalLinkIndex and GlobalLinkTarget are exact
+// inverses, with indexes inside [0, A*H). Regression for the g == t hole:
+// GlobalLinkIndex(g, g) used to return g-1 — a plausible, in-range index
+// that silently aliases the link to group g-1 — instead of panicking the
+// way LocalPortTo does on a self port.
+func TestGlobalLinkInverses(t *testing.T) {
+	for _, d := range []Dragonfly{paperTopo(), {P: 2, A: 4, H: 2}, {P: 3, A: 6, H: 3}, {P: 2, A: 32, H: 1}} {
+		G := d.Groups()
+		for g := 0; g < G; g++ {
+			for tg := 0; tg < G; tg++ {
+				if g == tg {
+					continue
+				}
+				k := d.GlobalLinkIndex(g, tg)
+				if k < 0 || k >= d.A*d.H {
+					t.Fatalf("%+v: GlobalLinkIndex(%d,%d)=%d out of [0,%d)", d, g, tg, k, d.A*d.H)
+				}
+				if back := d.GlobalLinkTarget(g, k); back != tg {
+					t.Fatalf("%+v: GlobalLinkTarget(%d, GlobalLinkIndex(%d,%d)=%d)=%d, want %d", d, g, g, tg, k, back, tg)
+				}
+			}
+			for k := 0; k < d.A*d.H; k++ {
+				tg := d.GlobalLinkTarget(g, k)
+				if tg == g {
+					t.Fatalf("%+v: GlobalLinkTarget(%d,%d) returned the source group", d, g, k)
+				}
+				if back := d.GlobalLinkIndex(g, tg); back != k {
+					t.Fatalf("%+v: GlobalLinkIndex(%d, GlobalLinkTarget(%d,%d)=%d)=%d, want %d", d, g, g, k, tg, back, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalLinkSelfPanics pins the new guards: a self-group index query
+// and an out-of-range link index must panic rather than alias a real link.
+func TestGlobalLinkSelfPanics(t *testing.T) {
+	d := paperTopo()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("GlobalLinkIndex self", func() { d.GlobalLinkIndex(3, 3) })
+	mustPanic("GlobalLinkTarget negative", func() { d.GlobalLinkTarget(3, -1) })
+	mustPanic("GlobalLinkTarget overflow", func() { d.GlobalLinkTarget(3, d.Groups()-1) })
+}
+
+// TestCrossGroupLookahead pins the PDES lookahead helper to the global
+// latency (the only link class that crosses a group boundary).
+func TestCrossGroupLookahead(t *testing.T) {
+	d := paperTopo()
+	if got := d.CrossGroupLookahead(PaperLatencies()); got != 650 {
+		t.Fatalf("paper lookahead %d, want 650", got)
+	}
+	if got := d.CrossGroupLookahead(Latencies{Endpoint: 7, Local: 13, Global: 65}); got != 65 {
+		t.Fatalf("tiny lookahead %d, want 65", got)
+	}
+}
