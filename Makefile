@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke bench bench-all bench-diff figures figures-paper examples clean
+.PHONY: all build test vet lint race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke ckpt-smoke bench bench-all bench-diff figures figures-paper examples clean
 
-all: build vet lint test race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke
+all: build vet lint test race fault-smoke ec-smoke par-smoke obs-smoke pdes-smoke ckpt-smoke
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,11 @@ test:
 # shared observability sinks (tracer) are the paths it guards. -short skips
 # the multi-minute simulation sweeps (they run unshortened in `make test`
 # and add no concurrency coverage), but internal/network's accumulated
-# scenario tests now run ~11m under the ~10x race slowdown, so the
-# per-package timeout is raised past the 10m default.
+# scenario tests (now including the checkpoint resume-equality grid) run
+# ~15m under the ~10x race slowdown, so the per-package timeout is
+# raised well past the 10m default to keep headroom on loaded machines.
 race:
-	$(GO) test -race -short -timeout 20m ./...
+	$(GO) test -race -short -timeout 30m ./...
 
 # Fault-injection smoke: a short e2e run with per-link packet drops, the
 # invariant checker on, and a post-run drain that must end with every
@@ -83,6 +84,35 @@ pdes-smoke:
 		-epoch off -workers 1 -invariants \
 		-drain 400000 -assert-delivery -json > /tmp/pdes_serial.json
 	diff /tmp/pdes_epoch.json /tmp/pdes_serial.json
+
+# Checkpoint/restore smoke: the pdes-smoke scenario with a checkpoint
+# taken mid-run by the 4-worker epoch executor — between the first and
+# second scheduled bank failures, with drop recovery in flight — then
+# restored into a *serial* run. Both the checkpointing run and the
+# restored run must produce -json summaries byte-identical to a serial
+# straight-through run: one diff proves the snapshot is complete (every
+# RNG stream, timer and queue captured) and mode-canonical (epoch-built
+# bytes restore into the serial loop).
+ckpt-smoke:
+	$(GO) run ./cmd/stashsim -preset small -mode e2e -load 0.2 -warmup 0 \
+		-cycles 8000 -seed 13 -link-drop-rate 1e-3 \
+		-stash-fail "0.0@4000,1.1@5500,2.0@6001" \
+		-epoch auto -workers 4 -invariants \
+		-checkpoint /tmp/ckpt_smoke.snap@4700 \
+		-drain 400000 -assert-delivery -json > /tmp/ckpt_writer.json
+	$(GO) run ./cmd/stashsim -preset small -mode e2e -load 0.2 -warmup 0 \
+		-cycles 8000 -seed 13 -link-drop-rate 1e-3 \
+		-stash-fail "0.0@4000,1.1@5500,2.0@6001" \
+		-epoch off -workers 1 -invariants \
+		-restore /tmp/ckpt_smoke.snap \
+		-drain 400000 -assert-delivery -json > /tmp/ckpt_resumed.json
+	$(GO) run ./cmd/stashsim -preset small -mode e2e -load 0.2 -warmup 0 \
+		-cycles 8000 -seed 13 -link-drop-rate 1e-3 \
+		-stash-fail "0.0@4000,1.1@5500,2.0@6001" \
+		-epoch off -workers 1 -invariants \
+		-drain 400000 -assert-delivery -json > /tmp/ckpt_straight.json
+	diff /tmp/ckpt_writer.json /tmp/ckpt_straight.json
+	diff /tmp/ckpt_resumed.json /tmp/ckpt_straight.json
 
 # Observability smoke: the live telemetry server scraped from concurrent
 # goroutines while a two-worker profiled simulation runs, under the race

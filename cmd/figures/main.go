@@ -64,6 +64,8 @@ func main() {
 	stashParity := flag.Int("stash-parity", 0, "erasure-code stash copies into XOR parity groups of this width on every e2e experiment network (0 = off)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep-level worker pool fanning out independent design points (tables are identical for any value)")
 	epoch := flag.String("epoch", "auto", "cycle-level sync policy for experiment networks: auto, off, or an epoch-length cap in cycles (tables are identical for any value)")
+	checkpointSpec := flag.String("checkpoint", "", "write a warm snapshot of every design point as file@cycle (cycle inside each experiment's warmup window); files get .<experiment>.<point> suffixes")
+	restore := flag.String("restore", "", "resume every design point from the warm snapshots a previous -checkpoint run wrote with this file prefix; tables are byte-identical to a straight-through run")
 	profileExec := flag.Bool("profile-exec", false, "profile per-phase executor time across every experiment network; report to stderr and, with -out, exec_profile.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -112,9 +114,22 @@ func main() {
 		StashParity:     *stashParity,
 		Workers:         *workers,
 		Epoch:           *epoch,
+		RestorePath:     *restore,
 		Log: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
+	}
+	if *checkpointSpec != "" {
+		i := strings.LastIndex(*checkpointSpec, "@")
+		if i <= 0 {
+			log.Fatalf("-checkpoint wants file@cycle, got %q", *checkpointSpec)
+		}
+		at, err := strconv.ParseInt((*checkpointSpec)[i+1:], 10, 64)
+		if err != nil || at < 0 {
+			log.Fatalf("-checkpoint wants file@cycle with a non-negative cycle, got %q", *checkpointSpec)
+		}
+		o.CheckpointPath = (*checkpointSpec)[:i]
+		o.CheckpointAt = at
 	}
 	var prof *sim.ExecProfiler
 	if *profileExec {

@@ -25,6 +25,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"stashsim/internal/core"
 	"stashsim/internal/metrics"
@@ -120,6 +122,8 @@ func main() {
 	flag.Int64Var(&sp.Drain, "drain", 0, "after the measured window, run up to this many unloaded cycles until every packet settles")
 	flag.IntVar(&sp.Workers, "workers", runtime.GOMAXPROCS(0), "cycle-level worker goroutines stepping the network (1 = serial; results are identical either way)")
 	flag.StringVar(&sp.Epoch, "epoch", "auto", "parallel sync scheme: auto (group partitions free-run for lookahead-length epochs when workers allow), off (barrier every cycle), or a positive epoch-length cap in cycles; results are identical either way")
+	checkpointSpec := flag.String("checkpoint", "", "write a bit-exact checkpoint as file@cycle (absolute cycle; warmup counts); resuming from it with -restore reproduces the straight-through run byte for byte")
+	flag.StringVar(&sp.RestorePath, "restore", "", "resume from a checkpoint file; the other flags must rebuild the identical configuration and observers")
 	assertDelivery := flag.Bool("assert-delivery", false, "with -drain, exit nonzero unless every injected packet delivered exactly once")
 
 	enableMetrics := flag.Bool("metrics", false, "enable the switch metrics registry and print it")
@@ -137,6 +141,23 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *checkpointSpec != "" {
+		i := strings.LastIndex(*checkpointSpec, "@")
+		if i <= 0 {
+			fatalf("-checkpoint wants file@cycle, got %q", *checkpointSpec)
+		}
+		at, err := strconv.ParseInt((*checkpointSpec)[i+1:], 10, 64)
+		if err != nil || at < 0 {
+			fatalf("-checkpoint wants file@cycle with a non-negative cycle, got %q", *checkpointSpec)
+		}
+		if at >= sp.Warmup+sp.Cycles {
+			fatalf("-checkpoint cycle %d is past the end of the run (warmup %d + cycles %d); the drain window is not checkpointable",
+				at, sp.Warmup, sp.Cycles)
+		}
+		sp.CheckpointPath = (*checkpointSpec)[:i]
+		sp.CheckpointAt = at
+	}
 
 	// With -json, stdout carries exactly one JSON document; everything
 	// human-readable moves to stderr.

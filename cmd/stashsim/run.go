@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"stashsim/internal/core"
 	"stashsim/internal/fault"
@@ -59,6 +60,18 @@ type simSpec struct {
 	StashBypass   bool
 	StashParity   int
 	Drain         int64
+
+	// Checkpoint/restore (see internal/network's snapshot support).
+	// CheckpointPath, when set, writes a checkpoint to that file at the
+	// serial barrier before cycle CheckpointAt (an absolute cycle; warmup
+	// counts). RestorePath resumes a run from a checkpoint file; the rest
+	// of the spec must rebuild the identical configuration, which the
+	// snapshot's config fingerprint enforces. Neither affects the run's
+	// outcome: a checkpointing run and a restored run both produce the
+	// summary a straight-through run produces, byte for byte.
+	CheckpointPath string
+	CheckpointAt   int64
+	RestorePath    string
 }
 
 // faultPlan materializes the spec's fault plan, nil when inactive.
@@ -230,8 +243,10 @@ func (sp *simSpec) build() (*network.Network, error) {
 		if ep.Gen != nil || hotDst[ep.ID] {
 			continue
 		}
-		ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+		gen := rng.Derive(uint64(ep.ID))
+		ep.Gen = traffic.Uniform(gen, len(n.Endpoints), nil,
 			sp.Load, rate, msgFlits, victims, 0)
+		ep.GenRNG = gen
 	}
 	return n, nil
 }
@@ -243,8 +258,39 @@ func (sp *simSpec) run(n *network.Network) *runSummary {
 		n.SetWorkers(sp.Workers)
 		defer n.Close()
 	}
-	n.Warmup(sp.Warmup)
-	n.Run(sp.Cycles)
+
+	// Restore rewinds nothing: the network is freshly built, so loading
+	// the snapshot leaves the clock at the checkpointed cycle and the run
+	// below covers only the remaining warmup and measured cycles.
+	done := int64(0)
+	if sp.RestorePath != "" {
+		data, err := os.ReadFile(sp.RestorePath)
+		if err != nil {
+			fatalf("restore: %v", err)
+		}
+		if err := n.Restore(data); err != nil {
+			fatalf("restore: %v", err)
+		}
+		done = int64(n.Now)
+		if total := sp.Warmup + sp.Cycles; done > total {
+			fatalf("restore: checkpoint was taken at cycle %d, past this run's warmup %d + cycles %d",
+				done, sp.Warmup, sp.Cycles)
+		}
+	}
+	if sp.CheckpointPath != "" {
+		path := sp.CheckpointPath
+		n.ScheduleCheckpoint(sp.CheckpointAt, func(now sim.Tick) {
+			if err := os.WriteFile(path, n.Checkpoint(now), 0o644); err != nil {
+				fatalf("checkpoint: %v", err)
+			}
+		})
+	}
+	if done < sp.Warmup {
+		n.Warmup(sp.Warmup - done)
+		n.Run(sp.Cycles)
+	} else {
+		n.Run(sp.Warmup + sp.Cycles - done)
+	}
 
 	drained := true
 	if sp.Drain > 0 {

@@ -61,6 +61,19 @@ func TestPhaseCheckFixture(t *testing.T) {
 	runFixture(t, PhaseCheck, "phasecheck", "stashsim/internal/phasefix")
 }
 
+// The snapshot codec participates in both contracts: checkpoint bytes
+// must be a deterministic function of state (no map-order iteration in
+// encoders) and Checkpoint/Restore are serial-phase walks that the
+// parallel closure must not reach. Each fixture pairs a true positive
+// with the clean shape the real codec uses.
+func TestDeterminismSnapshotFixture(t *testing.T) {
+	runFixture(t, Determinism, "snapshot_determinism", "stashsim/internal/snapshot")
+}
+
+func TestPhaseCheckSnapshotFixture(t *testing.T) {
+	runFixture(t, PhaseCheck, "snapshot_phase", "stashsim/internal/snapshot")
+}
+
 // TestPhaseCheckClean asserts a correctly annotated package carries zero
 // findings (the fixture has no want comments, so any diagnostic fails).
 func TestPhaseCheckClean(t *testing.T) {

@@ -54,6 +54,10 @@ var determinismPkgs = []string{
 	// simulation state (see the package doc).
 	"internal/metrics",
 	"internal/stats",
+	// The checkpoint codec serializes simulator state: a map iterated in
+	// encode order would make snapshot bytes nondeterministic, breaking
+	// the checkpoint -> restore -> checkpoint byte-identity contract.
+	"internal/snapshot",
 	"cmd/stashsim",
 	"cmd/figures",
 	"cmd/tracegen",

@@ -42,6 +42,10 @@ var phasePkgs = []string{
 	"internal/metrics",
 	"internal/telemetry",
 	"internal/network",
+	// Checkpoint/Restore walk every component's private state and are
+	// annotated serial: the phase proof keeps them unreachable from the
+	// parallel stepping closure.
+	"internal/snapshot",
 }
 
 // PhaseCheck enforces the //stashsim:phase / //stashsim:owner contract.

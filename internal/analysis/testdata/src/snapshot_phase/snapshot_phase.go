@@ -1,0 +1,30 @@
+// Package snapphasefix exercises the phasecheck analyzer over the
+// snapshot scope (loaded as stashsim/internal/snapshot): Checkpoint and
+// Restore walk every component's private state, so they are annotated
+// //stashsim:phase serial and must be unreachable from the parallel
+// stepping closure.
+package snapphasefix
+
+type network struct {
+	now int64
+}
+
+// Checkpoint mirrors the real network hook: a serial-only state walk.
+//
+//stashsim:phase serial -- walks every component's private state; runs only at a cycle barrier
+func (n *network) Checkpoint() []byte {
+	return []byte{byte(n.now)}
+}
+
+//stashsim:phase parallel
+func step(n *network) {
+	_ = n.Checkpoint() // want "calls Checkpoint, which is annotated //stashsim:phase serial"
+}
+
+// scheduled is the legal shape: the checkpoint fires from a serial hook
+// (the barrier's PreCycle), never from the stepping closure.
+//
+//stashsim:phase serial
+func scheduled(n *network) {
+	_ = n.Checkpoint()
+}

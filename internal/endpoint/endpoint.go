@@ -149,6 +149,12 @@ type Endpoint struct {
 	// generate traffic (assigned by the harness).
 	Gen func(now sim.Tick, e *Endpoint)
 
+	// GenRNG, when non-nil, is the RNG stream driving Gen's random draws.
+	// The harness assigns it alongside Gen so checkpoint/restore can carry
+	// the generator stream across a restart; the closure and the snapshot
+	// share the stream through this pointer.
+	GenRNG *sim.RNG
+
 	// OnDelivered, when non-nil, is invoked for every delivered data
 	// packet (used by the trace replay engine).
 	OnDelivered func(d Delivery)

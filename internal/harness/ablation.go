@@ -58,10 +58,14 @@ func Ablations(o *Options) (*stats.Table, error) {
 		rng := sim.NewRNG(cfg.Seed + 4000)
 		rate := n.ChannelRate()
 		for _, ep := range n.Endpoints {
-			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			gen := rng.Derive(uint64(ep.ID))
+			ep.Gen = traffic.Uniform(gen, len(n.Endpoints), nil,
 				1.0, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+			ep.GenRNG = gen
 		}
-		n.Warmup(warm)
+		if err := o.warm(n, "ablations", i, warm); err != nil {
+			return err
+		}
 		n.Run(meas)
 		c := n.Counters()
 		var banks int64

@@ -85,10 +85,14 @@ func Faults(o *Options) (*stats.Table, error) {
 			rng := sim.NewRNG(cfg.Seed + 2000)
 			chRate := n.ChannelRate()
 			for _, ep := range n.Endpoints {
-				ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+				gen := rng.Derive(uint64(ep.ID))
+				ep.Gen = traffic.Uniform(gen, len(n.Endpoints), nil,
 					0.2, chRate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+				ep.GenRNG = gen
 			}
-			n.Warmup(warm)
+			if err := o.warm(n, "faults", i, warm); err != nil {
+				return err
+			}
 			n.Run(meas)
 			for _, ep := range n.Endpoints {
 				ep.Gen = nil

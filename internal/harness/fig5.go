@@ -43,10 +43,14 @@ func Fig5(o *Options) (*stats.Table, *stats.Table, error) {
 		rng := sim.NewRNG(cfg.Seed + 1000)
 		rate := n.ChannelRate()
 		for _, ep := range n.Endpoints {
-			ep.Gen = traffic.Uniform(rng.Derive(uint64(ep.ID)), len(n.Endpoints), nil,
+			gen := rng.Derive(uint64(ep.ID))
+			ep.Gen = traffic.Uniform(gen, len(n.Endpoints), nil,
 				load, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+			ep.GenRNG = gen
 		}
-		n.Warmup(warm)
+		if err := o.warm(n, "fig5", i, warm); err != nil {
+			return err
+		}
 		n.Run(meas)
 		meanNS := n.Collector().LatAcc[proto.ClassDefault].Mean() / 1.3
 		cells[i] = cell{fmtF(meanNS/1000, 3), fmtF(n.NormalizedAccepted(meas), 3)} // us

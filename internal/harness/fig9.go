@@ -64,8 +64,11 @@ func Fig9(o *Options) (*stats.Table, error) {
 					ep.Gen = traffic.Saturating(r, len(n.Endpoints), aggressors,
 						b*proto.MaxPacketFlits, proto.ClassAggressor, 0, 0)
 				}
+				ep.GenRNG = r
 			}
-			n.Warmup(warm)
+			if err := o.warm(n, "fig9", i, warm); err != nil {
+				return err
+			}
 			n.Run(meas)
 			c := n.Collector()
 			h := c.LatHist[proto.ClassVictim]

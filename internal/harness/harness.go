@@ -61,6 +61,18 @@ type Options struct {
 	// network into cycle-level workers; results are identical either way.
 	Epoch string
 
+	// CheckpointPath, when non-empty, writes a warm snapshot of every
+	// design point that runs a warmup window: at the serial barrier
+	// before cycle CheckpointAt — which must fall inside the warmup
+	// window — the network's full state goes to
+	// <CheckpointPath>.<experiment>.<point>. RestorePath resumes each
+	// such point from its matching file, paying only the remaining
+	// warmup cycles; measured tables are byte-identical either way (the
+	// -checkpoint/-restore flags of cmd/figures).
+	CheckpointPath string
+	CheckpointAt   int64
+	RestorePath    string
+
 	// ExecProfiler, when non-nil, is attached to every experiment network
 	// (the -profile-exec flag of cmd/figures). Experiment networks run
 	// their cycles serially — the parallelism above is sweep-level — so a
@@ -204,6 +216,54 @@ func (o *Options) mustNet(cfg *core.Config) *network.Network {
 		}
 	}
 	return n
+}
+
+// snapFile names one design point's warm-snapshot file. Points are
+// independent simulations, so each gets its own file; the name depends
+// only on the experiment and point index, never on sweep scheduling.
+func snapFile(base, exp string, point int) string {
+	return fmt.Sprintf("%s.%s.%03d", base, exp, point)
+}
+
+// warm runs one design point's warmup window, writing or loading a warm
+// snapshot when the options ask for one. With RestorePath the network
+// resumes from its snapshot and only the remaining warmup cycles run;
+// with CheckpointPath a checkpoint of the full network state is taken at
+// the serial barrier before cycle CheckpointAt. Either way the measured
+// window that follows is byte-identical to a straight-through run.
+func (o *Options) warm(n *network.Network, exp string, point int, cycles int64) error {
+	done := int64(0)
+	if o.RestorePath != "" {
+		path := snapFile(o.RestorePath, exp, point)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("harness: restore: %w", err)
+		}
+		if err := n.Restore(data); err != nil {
+			return fmt.Errorf("harness: restore %s: %w", path, err)
+		}
+		done = int64(n.Now)
+		if done > cycles {
+			return fmt.Errorf("harness: %s was checkpointed at cycle %d, past this experiment's %d-cycle warmup window",
+				path, done, cycles)
+		}
+	}
+	var ckptErr error
+	if o.CheckpointPath != "" {
+		if o.CheckpointAt >= cycles {
+			return fmt.Errorf("harness: checkpoint cycle %d is outside %s's %d-cycle warmup window (figure checkpoints are warm snapshots)",
+				o.CheckpointAt, exp, cycles)
+		}
+		path := snapFile(o.CheckpointPath, exp, point)
+		n.ScheduleCheckpoint(o.CheckpointAt, func(now sim.Tick) {
+			ckptErr = os.WriteFile(path, n.Checkpoint(now), 0o644)
+		})
+	}
+	n.Warmup(cycles - done)
+	if ckptErr != nil {
+		return fmt.Errorf("harness: checkpoint: %w", ckptErr)
+	}
+	return nil
 }
 
 // fmtF formats a float with the given precision.

@@ -1,0 +1,173 @@
+package metrics
+
+import "stashsim/internal/snapshot"
+
+// Checkpoint hooks for the observability subsystem. A fresh network
+// re-registers the identical scope/metric names in the identical order,
+// so the codec walks the registration-order slices, verifies every name,
+// and transfers only values: the snapshot stays self-describing (a
+// wiring drift between recorder and restorer fails loudly on the first
+// mismatched name) without serializing any wiring.
+
+// EncodeState appends every scope's counters and histograms in
+// registration order. Gauges are evaluated live and carry no state.
+//
+//stashsim:phase serial -- cross-scope walk; runs only at a cycle barrier
+func (r *Registry) EncodeState(w *snapshot.Writer) {
+	if r == nil {
+		return
+	}
+	w.Section("METR")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w.Count(len(r.sorder))
+	for _, sn := range r.sorder {
+		s := r.scopes[sn]
+		w.Str(sn)
+		w.Count(len(s.corder))
+		for _, cn := range s.corder {
+			w.Str(cn)
+			w.I64(s.counters[cn].Value())
+		}
+		w.Count(len(s.horder))
+		for _, hn := range s.horder {
+			w.Str(hn)
+			h := s.hists[hn]
+			h.mu.Lock()
+			h.h.EncodeState(w)
+			h.mu.Unlock()
+		}
+	}
+}
+
+// DecodeState restores counter and histogram values into a registry
+// whose scopes and metrics were re-registered identically.
+//
+//stashsim:phase serial -- cross-scope walk; runs only before the restored run starts
+func (r *Registry) DecodeState(rd *snapshot.Reader) {
+	if r == nil {
+		return
+	}
+	rd.Section("METR")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := rd.Count(8); rd.Err() == nil && n != len(r.sorder) {
+		rd.Failf("metrics: registry has %d scopes, snapshot has %d", len(r.sorder), n)
+	}
+	if rd.Err() != nil {
+		return
+	}
+	for _, sn := range r.sorder {
+		s := r.scopes[sn]
+		if got := rd.Str(); rd.Err() == nil && got != sn {
+			rd.Failf("metrics: scope %q in snapshot, registry has %q", got, sn)
+		}
+		if n := rd.Count(12); rd.Err() == nil && n != len(s.corder) {
+			rd.Failf("metrics: scope %q has %d counters, snapshot has %d", sn, len(s.corder), n)
+		}
+		if rd.Err() != nil {
+			return
+		}
+		for _, cn := range s.corder {
+			if got := rd.Str(); rd.Err() == nil && got != cn {
+				rd.Failf("metrics: counter %q in snapshot, scope %q has %q", got, sn, cn)
+			}
+			if rd.Err() != nil {
+				return
+			}
+			s.counters[cn].v.Store(rd.I64())
+		}
+		if n := rd.Count(4); rd.Err() == nil && n != len(s.horder) {
+			rd.Failf("metrics: scope %q has %d histograms, snapshot has %d", sn, len(s.horder), n)
+		}
+		if rd.Err() != nil {
+			return
+		}
+		for _, hn := range s.horder {
+			if got := rd.Str(); rd.Err() == nil && got != hn {
+				rd.Failf("metrics: histogram %q in snapshot, scope %q has %q", got, sn, hn)
+			}
+			if rd.Err() != nil {
+				return
+			}
+			h := s.hists[hn]
+			h.mu.Lock()
+			h.h.DecodeState(rd)
+			h.mu.Unlock()
+		}
+	}
+}
+
+// EncodeState appends the sampler's accumulated probe series.
+func (s *Sampler) EncodeState(w *snapshot.Writer) {
+	if s == nil {
+		return
+	}
+	w.Section("SMPL")
+	w.I64(s.every)
+	w.Count(len(s.names))
+	for i, name := range s.names {
+		w.Str(name)
+		s.series[i].EncodeState(w)
+	}
+}
+
+// DecodeState restores the probe series into a sampler re-registered
+// with the identical probes and interval.
+func (s *Sampler) DecodeState(rd *snapshot.Reader) {
+	if s == nil {
+		return
+	}
+	rd.Section("SMPL")
+	if every := rd.I64(); rd.Err() == nil && every != s.every {
+		rd.Failf("metrics: sampler interval %d in snapshot, this run samples every %d", every, s.every)
+	}
+	if n := rd.Count(4); rd.Err() == nil && n != len(s.names) {
+		rd.Failf("metrics: sampler has %d probes, snapshot has %d", len(s.names), n)
+	}
+	if rd.Err() != nil {
+		return
+	}
+	for i, name := range s.names {
+		if got := rd.Str(); rd.Err() == nil && got != name {
+			rd.Failf("metrics: sampler probe %q in snapshot, this run has %q", got, name)
+		}
+		if rd.Err() != nil {
+			return
+		}
+		s.series[i].DecodeState(rd)
+	}
+}
+
+// EncodeState appends the watchdog's window bookkeeping so a restored
+// run observes window boundaries on the same absolute cycles.
+//
+//stashsim:phase serial -- reads the unsynchronized window bookkeeping at a cycle barrier
+func (w *Watchdog) EncodeState(sw *snapshot.Writer) {
+	if w == nil {
+		return
+	}
+	sw.Section("WDOG")
+	sw.Bool(w.started)
+	sw.I64(w.windowStart)
+	sw.I64(w.lastDelivered)
+	sw.Bool(w.stalled.Load())
+	sw.I64(w.Stalls)
+	sw.I64(w.Suppressed)
+}
+
+// DecodeState restores the watchdog's window bookkeeping.
+//
+//stashsim:phase serial -- mutates the unsynchronized window bookkeeping before the restored run starts
+func (w *Watchdog) DecodeState(rd *snapshot.Reader) {
+	if w == nil {
+		return
+	}
+	rd.Section("WDOG")
+	w.started = rd.Bool()
+	w.windowStart = rd.I64()
+	w.lastDelivered = rd.I64()
+	w.stalled.Store(rd.Bool())
+	w.Stalls = rd.I64()
+	w.Suppressed = rd.I64()
+}

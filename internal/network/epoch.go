@@ -254,6 +254,15 @@ func (n *Network) nextSerialEvent(from sim.Tick) sim.Tick {
 	}
 	f := int64(from)
 	next := int64(1) << 62
+	if n.ckptFn != nil {
+		at := n.ckptAt
+		if at < f {
+			at = f
+		}
+		if at < next {
+			next = at
+		}
+	}
 	if at, ok := n.Injector.NextStashFailAt(f); ok && at < next {
 		next = at
 	}

@@ -89,6 +89,15 @@ type Network struct {
 	// returns — it is current mid-run, and atomic so the SIGQUIT handler
 	// and telemetry snapshots read it from other goroutines safely.
 	cycleDone atomic.Int64
+
+	// ckptFn, when non-nil, is the pending checkpoint action scheduled by
+	// ScheduleCheckpoint: preCycle invokes it once at the first cycle
+	// >= ckptAt, before any fault event or component step of that cycle.
+	// Under epoch synchronization, nextSerialEvent clamps an epoch to end
+	// there, so the hook runs at a true serial barrier in every execution
+	// mode and the snapshot equals the one a serial run would take.
+	ckptAt int64
+	ckptFn func(now sim.Tick)
 }
 
 // New builds and wires a network from the configuration.
@@ -361,6 +370,13 @@ func (n *Network) DumpNonIdle(w io.Writer) {
 //
 //stashsim:phase serial -- fault injection mutates arbitrary switches; only the coordinator may run it
 func (n *Network) preCycle(now sim.Tick) {
+	// The checkpoint fires before due stash failures so an event scheduled
+	// at this cycle is still unfired in the snapshot and re-fires in the
+	// restored run's first preCycle — the restored run replays this cycle.
+	if fn := n.ckptFn; fn != nil && int64(now) >= n.ckptAt {
+		n.ckptFn = nil
+		fn(now)
+	}
 	if n.Injector.HasStashFails() {
 		for _, sf := range n.Injector.DueStashFails(int64(now)) {
 			lost, reconstructed := n.Switches[sf.Switch].FailStashBank(now, sf.Port)

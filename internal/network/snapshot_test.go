@@ -1,0 +1,380 @@
+package network
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"stashsim/internal/core"
+	"stashsim/internal/fault"
+	"stashsim/internal/metrics"
+	"stashsim/internal/proto"
+	"stashsim/internal/sim"
+	"stashsim/internal/topo"
+	"stashsim/internal/traffic"
+)
+
+// The resume-equality harness. Every grid point builds three identically
+// configured networks: a straight-through golden run, a run that
+// checkpoints mid-flight (and must be unperturbed by doing so), and a
+// fresh network restored from that checkpoint which runs only the
+// remaining cycles. All three must end in the same state, compared via
+// the strongest observable available — the checkpoint bytes of the final
+// state, which cover every counter, buffer, timer, and RNG stream.
+
+// snapScenario names a workload/fault shape of the grid.
+type snapScenario struct {
+	name   string
+	mode   core.StashMode
+	parity int
+	ecn    bool
+	fault  *fault.Plan
+	load   float64
+}
+
+func snapScenarios(failAt int64) []snapScenario {
+	return []snapScenario{
+		// Drops plus a scheduled bank failure: the checkpoint lands with
+		// retry timers armed (mid-backoff) and the failure still pending.
+		{name: "faults", mode: core.StashE2E, load: 0.25,
+			fault: &fault.Plan{Seed: 9, LinkDropRate: 2e-3,
+				StashFailures: []fault.StashFail{{Switch: 0, Port: 0, At: failAt}}}},
+		// Parity groups with two bank failures bracketing the checkpoint:
+		// the first one's reconstruction is in flight when the snapshot is
+		// taken, the second fires after restore.
+		{name: "parity", mode: core.StashE2E, parity: 4, load: 0.25,
+			fault: &fault.Plan{Seed: 9, LinkDropRate: 1e-3,
+				StashFailures: []fault.StashFail{
+					{Switch: 0, Port: 1, At: failAt - 3},
+					{Switch: 1, Port: 0, At: failAt + 400},
+				}}},
+		// Congestion stashing with ECN windows and per-destination state.
+		{name: "ecn", mode: core.StashCongestion, ecn: true, load: 0.45},
+	}
+}
+
+// snapConfig materializes one scenario on one preset.
+func snapConfig(preset string, sc snapScenario) *core.Config {
+	var cfg *core.Config
+	if preset == "small" {
+		cfg = core.SmallConfig()
+	} else {
+		cfg = core.TinyConfig()
+	}
+	cfg.Mode = sc.mode
+	if sc.ecn {
+		cfg.ECN = core.DefaultECN()
+	}
+	cfg.StashParity = sc.parity
+	if sc.fault != nil {
+		plan := *sc.fault
+		cfg.Fault = &plan
+		cfg.Retrans = core.DefaultRetrans()
+		if sc.mode == core.StashE2E {
+			cfg.RetainPayload = true
+		}
+	}
+	return cfg
+}
+
+// buildSnapNet builds a network for the scenario with the full observer
+// set attached (so the snapshot covers metrics, sampler, watchdog, and
+// invariant state) and uniform traffic wired with restorable RNG streams.
+func buildSnapNet(t *testing.T, cfg *core.Config, sc snapScenario) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n.EnableInvariants(64)
+	n.EnableMetrics(metrics.NewRegistry())
+	n.AttachSampler(250)
+	n.AttachWatchdog(100000, io.Discard)
+	wireSnapTraffic(n, cfg, sc)
+	return n
+}
+
+// wireSnapTraffic installs the grid's uniform workload with restorable
+// per-endpoint RNG streams.
+func wireSnapTraffic(n *Network, cfg *core.Config, sc snapScenario) {
+	rng := sim.NewRNG(cfg.Seed + 77)
+	rate := n.ChannelRate()
+	for _, ep := range n.Endpoints {
+		gen := rng.Derive(uint64(ep.ID))
+		ep.Gen = traffic.Uniform(gen, len(n.Endpoints), nil,
+			sc.load, rate, proto.MaxPacketFlits, proto.ClassDefault, 0)
+		ep.GenRNG = gen
+	}
+}
+
+// runSnapNet advances the network to absolute cycle `upto` under the
+// given execution mode.
+func runSnapNet(n *Network, workers int, epoch int64, upto int64) {
+	n.SetEpochPolicy(epoch)
+	if workers > 1 {
+		n.SetWorkers(workers)
+	}
+	n.Run(upto - int64(n.Now))
+}
+
+// finalState returns the network's complete end-of-run state as bytes.
+func finalState(n *Network) []byte {
+	return n.Checkpoint(n.Now)
+}
+
+// TestResumeEquality is the grid: presets x workers {1,4} x epoch
+// {off,auto} x {faults, parity, ecn}, each point checkpointing mid-run —
+// at a cycle chosen to land mid-epoch, mid-retry-backoff, and (for the
+// parity scenario) mid-reconstruction — and requiring the checkpointing
+// run and the restored run to finish byte-identical to straight-through.
+// The restored run deliberately executes under a different worker/epoch
+// combination than the run that took the checkpoint: snapshots are
+// mode-canonical.
+func TestResumeEquality(t *testing.T) {
+	type point struct {
+		preset  string
+		workers int
+		epoch   int64 // -1 = off, 0 = auto
+	}
+	points := []point{
+		{"tiny", 1, -1},
+		{"tiny", 4, -1},
+		{"tiny", 1, 0},
+		{"tiny", 4, 0},
+	}
+	if !testing.Short() {
+		points = append(points, point{"small", 4, 0}, point{"small", 1, -1})
+	}
+	const total, ckptAt = 3000, 1337 // odd cycle: never an epoch boundary
+	for _, pt := range points {
+		for _, sc := range snapScenarios(ckptAt) {
+			pt, sc := pt, sc
+			name := pt.preset + "/" + sc.name + "/w" + string(rune('0'+pt.workers))
+			if pt.epoch < 0 {
+				name += "/off"
+			} else {
+				name += "/auto"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				cfg := snapConfig(pt.preset, sc)
+
+				golden := buildSnapNet(t, cfg, sc)
+				defer golden.Close()
+				runSnapNet(golden, pt.workers, pt.epoch, total)
+				want := finalState(golden)
+
+				// The checkpointing run: taking a snapshot must not
+				// perturb the simulation.
+				ck := buildSnapNet(t, snapConfig(pt.preset, sc), sc)
+				defer ck.Close()
+				var snap []byte
+				ck.ScheduleCheckpoint(ckptAt, func(now sim.Tick) {
+					if int64(now) != ckptAt {
+						t.Errorf("checkpoint fired at cycle %d, want %d", now, ckptAt)
+					}
+					snap = ck.Checkpoint(now)
+				})
+				runSnapNet(ck, pt.workers, pt.epoch, total)
+				if snap == nil {
+					t.Fatal("checkpoint hook never fired")
+				}
+				if got := finalState(ck); !bytes.Equal(got, want) {
+					t.Fatalf("checkpointing run diverged from straight-through (%d vs %d state bytes)", len(got), len(want))
+				}
+
+				// The restored run, under the opposite execution mode.
+				rw, re := 4, int64(0)
+				if pt.workers == 4 {
+					rw = 1
+				}
+				if pt.epoch == 0 {
+					re = -1
+				}
+				rn := buildSnapNet(t, snapConfig(pt.preset, sc), sc)
+				defer rn.Close()
+				if err := rn.Restore(snap); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if int64(rn.Now) != ckptAt {
+					t.Fatalf("restored clock at %d, want %d", rn.Now, ckptAt)
+				}
+				runSnapNet(rn, rw, re, total)
+				if got := finalState(rn); !bytes.Equal(got, want) {
+					t.Fatalf("restored run diverged from straight-through (%d vs %d state bytes)", len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRoundTrip: Checkpoint -> Restore -> Checkpoint produces
+// identical bytes, and a checkpoint of the same cycle is byte-identical
+// whether taken under the serial or the epoch-parallel executor (the
+// mode-canonical link encoding).
+func TestCheckpointRoundTrip(t *testing.T) {
+	sc := snapScenarios(900)[0]
+	const ckptAt = 1111
+
+	take := func(workers int, epoch int64) []byte {
+		n := buildSnapNet(t, snapConfig("tiny", sc), sc)
+		defer n.Close()
+		var snap []byte
+		n.ScheduleCheckpoint(ckptAt, func(now sim.Tick) { snap = n.Checkpoint(now) })
+		runSnapNet(n, workers, epoch, ckptAt+1)
+		if snap == nil {
+			t.Fatal("checkpoint hook never fired")
+		}
+		return snap
+	}
+
+	serial := take(1, -1)
+	epoch := take(4, 0)
+	if !bytes.Equal(serial, epoch) {
+		t.Fatalf("checkpoint bytes differ across executors: %d serial vs %d epoch", len(serial), len(epoch))
+	}
+
+	rn := buildSnapNet(t, snapConfig("tiny", sc), sc)
+	defer rn.Close()
+	if err := rn.Restore(serial); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	again := rn.Checkpoint(rn.Now)
+	if !bytes.Equal(serial, again) {
+		t.Fatalf("restore -> checkpoint not byte-identical: %d vs %d bytes", len(serial), len(again))
+	}
+}
+
+// TestRestoreRejectsMismatchedConfig exercises every fingerprint axis a
+// user can realistically get wrong: each mutated configuration must be
+// rejected loudly, never half-restored.
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	sc := snapScenarios(900)[0]
+	src := buildSnapNet(t, snapConfig("tiny", sc), sc)
+	defer src.Close()
+	var snap []byte
+	src.ScheduleCheckpoint(500, func(now sim.Tick) { snap = src.Checkpoint(now) })
+	runSnapNet(src, 1, -1, 600)
+	if snap == nil {
+		t.Fatal("checkpoint hook never fired")
+	}
+
+	axes := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		// One more global link per switch: radix 8 still fits the tiny
+		// preset's 4x2 tile array, so only the fingerprint can object.
+		{"topology", func(c *core.Config) { c.Topo = topo.Dragonfly{P: 2, A: 4, H: 3} }},
+		{"mode", func(c *core.Config) { c.Mode = core.StashCongestion; c.ECN = core.DefaultECN() }},
+		{"seed", func(c *core.Config) { c.Seed++ }},
+		{"capfrac", func(c *core.Config) { c.StashCapFrac = 0.5 }},
+		{"parity", func(c *core.Config) { c.StashParity = 4 }},
+		{"banks", func(c *core.Config) { c.BankModel = true }},
+		{"fault-plan", func(c *core.Config) { c.Fault.LinkDropRate = 5e-3 }},
+		{"no-fault", func(c *core.Config) {
+			c.Fault = nil
+			c.Retrans = core.RetransParams{}
+			c.RetainPayload = false
+		}},
+	}
+	for _, ax := range axes {
+		t.Run(ax.name, func(t *testing.T) {
+			cfg := snapConfig("tiny", sc)
+			ax.mutate(cfg)
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer n.Close()
+			err = n.Restore(snap)
+			if err == nil {
+				t.Fatal("Restore accepted a mismatched config")
+			}
+			if !strings.Contains(err.Error(), "mismatch") && !strings.Contains(err.Error(), "different build") {
+				t.Fatalf("mismatch error not loud enough: %v", err)
+			}
+		})
+	}
+
+	t.Run("observer-mismatch", func(t *testing.T) {
+		cfg := snapConfig("tiny", sc)
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer n.Close()
+		// Same workload wiring, but the source had metrics/sampler/
+		// watchdog/invariants attached and this network has none.
+		wireSnapTraffic(n, cfg, sc)
+		err = n.Restore(snap)
+		if err == nil || !strings.Contains(err.Error(), "identical observability flags") {
+			t.Fatalf("observer mismatch not rejected loudly: %v", err)
+		}
+	})
+
+	t.Run("stepped-network", func(t *testing.T) {
+		n := buildSnapNet(t, snapConfig("tiny", sc), sc)
+		defer n.Close()
+		n.Run(10)
+		if err := n.Restore(snap); err == nil ||
+			!strings.Contains(err.Error(), "freshly built") {
+			t.Fatalf("stepped network not rejected: %v", err)
+		}
+	})
+}
+
+// TestRestoreReschedulesSerialSingletons pins down satellite coverage for
+// the serial-singleton schedules: the sampler's fixed intervals, the
+// invariant auditor, the watchdog's window clock, and a scheduled
+// stash-bank failure must all fire on the same absolute cycles in a
+// restored run as in the straight-through run. Interval observers fire on
+// now%every==0 and the stash failure on its planned cycle, so any
+// rescheduling bug shows up as a diverging sample row, audit count, stall
+// count, or fault statistic.
+func TestRestoreReschedulesSerialSingletons(t *testing.T) {
+	sc := snapScenario{name: "faults", mode: core.StashE2E, load: 0.25,
+		fault: &fault.Plan{Seed: 9, LinkDropRate: 1e-3,
+			StashFailures: []fault.StashFail{{Switch: 0, Port: 0, At: 2600}}}}
+	const total, ckptAt = 4000, 2500 // checkpoint before the scheduled failure
+
+	golden := buildSnapNet(t, snapConfig("tiny", sc), sc)
+	defer golden.Close()
+	runSnapNet(golden, 4, 0, total)
+
+	src := buildSnapNet(t, snapConfig("tiny", sc), sc)
+	defer src.Close()
+	var snap []byte
+	src.ScheduleCheckpoint(ckptAt, func(now sim.Tick) { snap = src.Checkpoint(now) })
+	runSnapNet(src, 4, 0, total)
+	if snap == nil {
+		t.Fatal("checkpoint hook never fired")
+	}
+
+	rn := buildSnapNet(t, snapConfig("tiny", sc), sc)
+	defer rn.Close()
+	if err := rn.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	runSnapNet(rn, 1, -1, total)
+
+	if g, r := golden.Sampler.CSV(), rn.Sampler.CSV(); g != r {
+		t.Errorf("sampler rows diverged after restore:\n--- straight-through ---\n%s--- restored ---\n%s", g, r)
+	}
+	if g, r := golden.Invariants.Checks, rn.Invariants.Checks; g != r {
+		t.Errorf("invariant audit count diverged: straight-through %d, restored %d", g, r)
+	}
+	if g, r := golden.Watchdog.NextEventAt(int64(total)), rn.Watchdog.NextEventAt(int64(total)); g != r {
+		t.Errorf("watchdog window clock diverged: next event at %d vs %d", g, r)
+	}
+	if g, r := golden.Watchdog.Stalls, rn.Watchdog.Stalls; g != r {
+		t.Errorf("watchdog stall count diverged: %d vs %d", g, r)
+	}
+	if g, r := golden.FaultStats(), rn.FaultStats(); g != r {
+		t.Errorf("fault statistics diverged (stash failure re-fired or skipped): %+v vs %+v", g, r)
+	}
+	if g, r := golden.Counters(), rn.Counters(); g != r {
+		t.Errorf("counters diverged: %+v vs %+v", g, r)
+	}
+}

@@ -36,6 +36,14 @@ func (r *RNG) Derive(stream uint64) *RNG {
 	return NewRNG(r.state ^ (stream+1)*0x9E3779B97F4A7C15)
 }
 
+// State returns the full generator state (splitmix64 is its own state),
+// for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator state, restoring a checkpointed
+// stream exactly where it left off.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniformly random bits.
 //
 //stashsim:noalloc

@@ -1,0 +1,88 @@
+package stats
+
+import "stashsim/internal/snapshot"
+
+// Checkpoint hooks. Accumulators and histograms are captured exactly
+// (histograms as sparse non-zero buckets over the fixed bucket array),
+// so restored statistics continue bit-identically.
+
+// EncodeState appends the accumulator's state.
+func (a *Acc) EncodeState(w *snapshot.Writer) {
+	w.I64(a.N)
+	w.F64(a.Sum)
+	w.F64(a.Min)
+	w.F64(a.Max)
+}
+
+// DecodeState restores the accumulator's state.
+func (a *Acc) DecodeState(r *snapshot.Reader) {
+	a.N = r.I64()
+	a.Sum = r.F64()
+	a.Min = r.F64()
+	a.Max = r.F64()
+}
+
+// EncodeState appends the histogram's state: the accumulator plus every
+// non-zero bucket as (index, count) pairs in index order.
+func (h *Hist) EncodeState(w *snapshot.Writer) {
+	h.acc.EncodeState(w)
+	n := 0
+	for _, c := range h.buckets {
+		if c != 0 {
+			n++
+		}
+	}
+	w.Count(n)
+	for i := 0; i < numBuckets; i++ {
+		if h.buckets[i] != 0 {
+			w.U32(uint32(i))
+			w.I64(h.buckets[i])
+		}
+	}
+}
+
+// DecodeState restores the histogram's state, zeroing buckets the
+// snapshot does not mention.
+func (h *Hist) DecodeState(r *snapshot.Reader) {
+	h.acc.DecodeState(r)
+	h.buckets = [numBuckets]int64{}
+	n := r.Count(12)
+	for k := 0; k < n; k++ {
+		i := r.U32()
+		if i >= numBuckets {
+			r.Failf("stats: histogram bucket index %d out of range [0,%d)", i, numBuckets)
+			return
+		}
+		h.buckets[i] = r.I64()
+	}
+}
+
+// EncodeState appends the time series' state.
+func (t *TimeSeries) EncodeState(w *snapshot.Writer) {
+	w.I64(t.BinWidth)
+	w.Count(len(t.bins))
+	for i := range t.bins {
+		t.bins[i].EncodeState(w)
+	}
+}
+
+// DecodeState restores the time series' state, replacing the bins.
+func (t *TimeSeries) DecodeState(r *snapshot.Reader) {
+	bw := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	if bw <= 0 {
+		r.Failf("stats: non-positive time-series bin width %d", bw)
+		return
+	}
+	n := r.Count(32)
+	if r.Err() != nil {
+		return
+	}
+	t.BinWidth = bw
+	t.bins = make([]Acc, n)
+	for i := range t.bins {
+		t.bins[i].DecodeState(r)
+	}
+}
